@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, times the
+generation, prints the paper-style rendering (run pytest with ``-s`` to see
+it), and records headline numbers in ``benchmark.extra_info`` so the JSON
+output carries the reproduced results alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.suite import standard_suite
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return standard_suite()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full regeneration (these are experiments, not microbenches)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Benchmarks for the beyond-the-paper studies: time-to-accuracy scaling
+and the optimization what-ifs, with their shapes asserted."""
+
+from conftest import run_once
+
+from repro.distributed.time_to_accuracy import scaling_study
+from repro.optimizations.depth import depth_for_batch_tradeoff
+from repro.optimizations.fusion import evaluate_fusion
+from repro.optimizations.offload import FeatureMapOffload
+from repro.training.session import TrainingSession
+
+
+def test_time_to_accuracy_scaling(benchmark):
+    points = run_once(benchmark, scaling_study, "resnet-50", "mxnet", 32)
+    print()
+    for point in points:
+        print(
+            f"  {point.configuration:26s} {point.throughput:7.1f} img/s  "
+            f"{point.time_to_accuracy_s / 86400:5.2f} days to 95% of final"
+        )
+    by_label = {p.configuration: p for p in points}
+    benchmark.extra_info["speedup_1m4g"] = round(
+        by_label["1M1G"].time_to_accuracy_s / by_label["1M4G"].time_to_accuracy_s, 2
+    )
+    assert by_label["1M4G"].time_to_accuracy_s < by_label["1M1G"].time_to_accuracy_s
+    slow = next(p for l, p in by_label.items() if "GbE" in l)
+    assert slow.time_to_accuracy_s > by_label["1M1G"].time_to_accuracy_s
+
+
+def test_fused_rnn_whatif(benchmark):
+    result = run_once(
+        benchmark, evaluate_fusion, TrainingSession("nmt", "tensorflow"), 128
+    )
+    print(
+        f"\n  NMT b=128 fused-RNN: {result.speedup:.2f}x, kernels "
+        f"{result.baseline_kernel_count} -> {result.fused_kernel_count}"
+    )
+    benchmark.extra_info["speedup"] = round(result.speedup, 2)
+    assert result.speedup > 1.3
+
+
+def test_offload_whatif(benchmark):
+    offload = FeatureMapOffload(TrainingSession("sockeye", "mxnet"))
+
+    def study():
+        plan = offload.plan(64, 0.6)
+        new_max = offload.max_batch_with_offload((64, 128, 256), 0.6)
+        return plan, new_max
+
+    plan, new_max = run_once(benchmark, study)
+    print(
+        f"\n  Sockeye offload 60%: frees {plan.memory_saved_gib:.1f} GiB for "
+        f"{plan.throughput_cost_fraction * 100:.1f}% throughput; max batch "
+        f"64 -> {new_max}"
+    )
+    benchmark.extra_info["new_max_batch"] = new_max
+    assert new_max > 64
+    assert plan.throughput_cost_fraction < 0.25
+
+
+def test_depth_for_batch_tradeoff(benchmark):
+    plans = run_once(benchmark, depth_for_batch_tradeoff, "mxnet", (8, 16, 32))
+    print()
+    for plan in plans:
+        print(
+            f"  b={plan.batch_size:<4d} deepest fit: {plan.name} "
+            f"({plan.layer_count} layers, {plan.total_gib:.1f} GiB)"
+        )
+    depths = [plan.conv4_blocks for plan in plans]
+    assert depths == sorted(depths, reverse=True)
+    assert plans[-1].conv4_blocks >= 23  # >= ResNet-101 at batch 32

@@ -1,0 +1,20 @@
+"""Benchmark: the suite-extension exhibit (YOLOv2 vs. Faster R-CNN) the
+paper plans in Section 3.1.2."""
+
+from conftest import run_once
+
+from repro.experiments import extension_yolo
+
+
+def test_extension_yolo_vs_faster_rcnn(benchmark):
+    rows = run_once(benchmark, extension_yolo.generate)
+    print()
+    print(extension_yolo.render(rows))
+    by_model = {row.model: row for row in rows}
+    speedup = by_model["YOLOv2"].throughput / by_model["Faster R-CNN"].throughput
+    benchmark.extra_info["yolo_speedup"] = round(speedup, 1)
+
+    # The motivating claim: single-shot detection processes images much
+    # faster than the two-network R-CNN iteration, on the same dataset.
+    assert speedup > 5.0
+    assert by_model["YOLOv2"].memory_gib < 8.0

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 10 (multi-GPU / multi-machine scaling)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_distributed_scaling(benchmark):
+    data = run_once(benchmark, fig10.generate)
+    print()
+    print(fig10.render(data))
+    at32 = {label: profiles[-1].throughput for label, profiles in data.items()}
+    benchmark.extra_info.update(
+        {label: round(value, 1) for label, value in at32.items()}
+    )
+
+    # Observation 13's shape: Ethernet degrades below single-GPU; PCIe and
+    # InfiniBand scale well.
+    assert at32["2M1G (ethernet)"] < at32["1M1G"]
+    assert at32["2M1G (infiniband)"] > 1.5 * at32["1M1G"]
+    assert at32["1M2G"] > 1.5 * at32["1M1G"]
+    assert at32["1M4G"] > 3.0 * at32["1M1G"]
+    # Per-GPU batch growth helps every configuration.
+    for profiles in data.values():
+        throughputs = [p.throughput for p in profiles]
+        assert throughputs == sorted(throughputs)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 2 (model accuracy over training time)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+
+
+def test_fig2_training_curves(benchmark, suite):
+    curves = run_once(benchmark, fig2.generate, suite)
+    print()
+    print(fig2.render(curves))
+    finals = {(c.model, c.framework): c.final_value for c in curves}
+    benchmark.extra_info["resnet50_top1"] = round(finals[("resnet-50", "mxnet")], 1)
+    benchmark.extra_info["nmt_bleu"] = round(finals[("nmt", "tensorflow")], 1)
+    benchmark.extra_info["a3c_pong"] = round(finals[("a3c", "mxnet")], 1)
+    # Section 3.3 literature end points.
+    assert finals[("resnet-50", "mxnet")] > 70.0
+    assert finals[("inception-v3", "mxnet")] > 73.0
+    assert finals[("nmt", "tensorflow")] > 18.0
+    assert finals[("a3c", "mxnet")] > 18.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 4 (throughput vs. mini-batch, all models)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4_throughput_sweeps(benchmark, suite):
+    data = run_once(benchmark, fig4.generate, suite)
+    print()
+    print(fig4.render(data))
+    by_key = {(s.model, s.framework): s for s in data["sweeps"]}
+    resnet = by_key[("resnet-50", "mxnet")].finite()
+    nmt = by_key[("nmt", "tensorflow")].finite()
+    benchmark.extra_info["resnet50_mxnet_b32"] = round(dict(resnet)[32], 1)
+    benchmark.extra_info["nmt_tf_b128"] = round(dict(nmt)[128], 1)
+
+    # Paper shapes: monotone growth; CNN saturation; RNN keeps scaling;
+    # MXNet wins image classification, TF wins Seq2Seq (Obs. 1-3).
+    for series in data["sweeps"]:
+        values = [v for _, v in series.finite()]
+        assert values == sorted(values)
+    assert dict(resnet)[64] / dict(resnet)[32] < 1.10
+    assert dict(nmt)[128] / dict(nmt)[64] > 1.4
+    sockeye = dict(by_key[("sockeye", "mxnet")].finite())
+    assert dict(nmt)[128] > sockeye[64]
+    tf_resnet = dict(by_key[("resnet-50", "tensorflow")].finite())
+    assert dict(resnet)[32] > tf_resnet[32]
+    assert 1.5 < data["faster_rcnn"]["tensorflow"] < 4.0  # paper: 2.3

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 5 (GPU compute utilization vs. mini-batch)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_gpu_utilization(benchmark, suite):
+    data = run_once(benchmark, fig5.generate, suite)
+    print()
+    print(fig5.render(data))
+    by_key = {(s.model, s.framework): dict(s.finite()) for s in data["sweeps"]}
+    benchmark.extra_info["resnet50_mxnet_b32"] = round(
+        by_key[("resnet-50", "mxnet")][32], 3
+    )
+    benchmark.extra_info["nmt_tf_b128"] = round(by_key[("nmt", "tensorflow")][128], 3)
+
+    # Observations 4 and 5: CNNs and DS2 ~95%+; LSTM models stay low.
+    assert by_key[("resnet-50", "mxnet")][32] > 0.9
+    assert by_key[("deep-speech-2", "mxnet")][4] > 0.9
+    assert by_key[("transformer", "tensorflow")][2048] > 0.85
+    assert by_key[("nmt", "tensorflow")][128] < 0.75
+    assert by_key[("sockeye", "mxnet")][64] < 0.75
+    # Faster R-CNN reaches ~90% (paper: 89.4% TF / 90.3% MXNet).
+    assert data["faster_rcnn"]["mxnet"] > 0.85

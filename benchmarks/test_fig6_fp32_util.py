@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 6 (FP32 utilization vs. mini-batch)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_fp32_utilization(benchmark, suite):
+    data = run_once(benchmark, fig6.generate, suite)
+    print()
+    print(fig6.render(data))
+    by_key = {(s.model, s.framework): dict(s.finite()) for s in data["sweeps"]}
+    benchmark.extra_info["resnet50_mxnet_b32"] = round(
+        by_key[("resnet-50", "mxnet")][32], 3
+    )
+    benchmark.extra_info["sockeye_b64"] = round(by_key[("sockeye", "mxnet")][64], 3)
+
+    # Observation 6: FP32 utilization grows with batch for every sweep.
+    for series in data["sweeps"]:
+        values = [v for _, v in series.finite()]
+        assert values == sorted(values), series.model
+    # Observation 7: RNN models far below CNNs even at max batch.
+    cnn = by_key[("resnet-50", "mxnet")][32]
+    assert by_key[("sockeye", "mxnet")][64] < 0.65 * cnn
+    assert by_key[("deep-speech-2", "mxnet")][4] < 0.25 * cnn

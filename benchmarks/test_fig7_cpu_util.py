@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 7 (CPU utilization across the suite)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_cpu_utilization(benchmark, suite):
+    data = run_once(benchmark, fig7.generate, suite)
+    print()
+    print(fig7.render(data))
+    values = {label: measured for label, measured, _ in data}
+    benchmark.extra_info["a3c_percent"] = round(values["A3C (MXNet)"], 2)
+    benchmark.extra_info["cntk_resnet_percent"] = round(
+        values["ResNet-50 (CNTK)"], 3
+    )
+
+    # Observation 9's shape: everything low; A3C the single outlier; CNTK
+    # image pipelines nearly free.
+    assert len(data) == 14
+    assert values["A3C (MXNet)"] == max(values.values())
+    assert sum(1 for v in values.values() if v > 15.0) == 1
+    assert values["ResNet-50 (CNTK)"] < 0.5
+    assert values["Faster R-CNN (TensorFlow)"] > values["Faster R-CNN (MXNet)"]

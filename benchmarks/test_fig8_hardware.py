@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 8 (Titan Xp vs. Quadro P4000)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_hardware_sensitivity(benchmark, suite):
+    data = run_once(benchmark, fig8.generate, suite)
+    print()
+    print(fig8.render(data))
+    by_key = {(c.model, c.framework): c for c in data}
+    benchmark.extra_info["resnet50_speedup"] = round(
+        by_key[("resnet-50", "mxnet")].normalized_throughput, 2
+    )
+    benchmark.extra_info["sockeye_speedup"] = round(
+        by_key[("sockeye", "mxnet")].normalized_throughput, 2
+    )
+
+    # Observation 10: Titan Xp throughput up, both utilizations down;
+    # CNNs gain ~2x (paper: 2.07/2.03), RNNs much less (paper: 1.01-1.45).
+    for comparison in data:
+        assert comparison.titan_fp32_utilization < comparison.p4000_fp32_utilization
+        assert comparison.titan_gpu_utilization < comparison.p4000_gpu_utilization
+    assert by_key[("resnet-50", "mxnet")].normalized_throughput > 1.8
+    assert by_key[("inception-v3", "mxnet")].normalized_throughput > 1.8
+    assert by_key[("sockeye", "mxnet")].normalized_throughput < 1.5

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 9 (memory breakdown, five classes)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_memory_breakdown(benchmark):
+    profiles = run_once(benchmark, fig9.generate)
+    print()
+    print(fig9.render(profiles))
+    largest = {}
+    for profile in profiles:
+        key = (profile.model, profile.framework)
+        if key not in largest or profile.batch_size > largest[key].batch_size:
+            largest[key] = profile
+    fractions = [p.feature_map_fraction for p in largest.values()]
+    benchmark.extra_info["feature_map_share_min"] = round(min(fractions), 3)
+    benchmark.extra_info["feature_map_share_max"] = round(max(fractions), 3)
+
+    # Observation 11: feature maps dominate (paper: 62%-89%).
+    assert min(fractions) > 0.55
+    assert max(fractions) < 0.95
+    # Observation 12: footprint grows ~linearly with batch via feature maps.
+    resnet = [p for p in profiles if p.model == "ResNet-50" and p.framework == "MXNet"]
+    by_batch = {p.batch_size: p for p in resnet}
+    fm8 = by_batch[8].breakdown()["feature maps"]
+    fm32 = by_batch[32].breakdown()["feature maps"]
+    assert 3.5 < fm32 / fm8 < 4.5
+    # The "dynamic" class (momentum) appears only on MXNet.
+    for profile in largest.values():
+        if profile.framework == "MXNet":
+            assert profile.breakdown()["dynamic"] > 0
+        else:
+            assert profile.breakdown()["dynamic"] == 0

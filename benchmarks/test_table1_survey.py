@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (the motivating literature survey)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_survey(benchmark):
+    summary = run_once(benchmark, table1.generate)
+    print()
+    print(table1.render())
+    benchmark.extra_info["training_papers"] = summary.training_papers
+    benchmark.extra_info["inference_papers"] = summary.inference_papers
+    assert summary.inference_papers > summary.training_papers

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Tables 2 and 3 (suite + dataset overviews)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_3
+
+
+def test_table2_and_3_suite_overview(benchmark):
+    data = run_once(benchmark, table2_3.generate)
+    print()
+    print(table2_3.render())
+    benchmark.extra_info["models"] = len(data["table2"])
+    benchmark.extra_info["datasets"] = len(data["table3"])
+    assert len(data["table2"]) == 9
+    assert len(data["table3"]) == 6

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 4 (hardware specifications)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_hardware_specs(benchmark):
+    rows = run_once(benchmark, table4.generate)
+    print()
+    print(table4.render())
+    assert any("Core Count" in str(row[0]) for row in rows)

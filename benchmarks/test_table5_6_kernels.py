@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Tables 5 and 6 (longest low-FP32 kernels)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table5_6
+
+
+@pytest.mark.parametrize("framework", ["tensorflow", "mxnet"])
+def test_table5_6_low_utilization_kernels(benchmark, suite, framework):
+    data = run_once(benchmark, table5_6.generate, framework, suite)
+    print()
+    print(table5_6.render(framework, data))
+    rows = data["rows"]
+    benchmark.extra_info["top_kernel"] = rows[0].kernel_name
+    benchmark.extra_info["top_duration_share"] = round(rows[0].duration_share, 4)
+
+    # Paper shape: 5 rows, all below the model-average FP32 utilization,
+    # batch-normalization kernels leading, duration shares in the 2-10%
+    # band Tables 5/6 report.
+    assert len(rows) == 5
+    assert all(r.fp32_utilization < data["average_fp32_utilization"] for r in rows)
+    assert "bn_" in rows[0].kernel_name
+    assert 0.02 < rows[0].duration_share < 0.15

@@ -1,0 +1,68 @@
+"""Distributed what-if analysis beyond the paper's Fig. 10.
+
+The paper's Observation 13: network bandwidth is critical for scaling, and
+"different techniques (in both software and hardware) should be applied to
+either reduce the amount of data sent or increase the available bandwidth".
+This example quantifies both levers on the simulated cluster:
+
+- hardware: Ethernet (1G) vs. 10GbE vs. InfiniBand vs. NVLink fabrics;
+- software: parameter-server vs. ring all-reduce exchange;
+- data reduction: FP16 gradient compression (halved exchange volume).
+"""
+
+from repro.distributed.allreduce import RingAllReduceExchange
+from repro.distributed.compression import HalfPrecisionGradients, TopKSparsification
+from repro.distributed.data_parallel import DataParallelTrainer
+from repro.distributed.parameter_server import ParameterServerExchange
+from repro.hardware.cluster import parse_configuration
+
+MODEL = "resnet-50"
+FRAMEWORK = "mxnet"
+BATCH = 32
+
+
+def run(label: str, fabric: str, exchange) -> None:
+    cluster = parse_configuration("2M1G", fabric=fabric)
+    trainer = DataParallelTrainer(MODEL, FRAMEWORK, cluster, exchange=exchange)
+    profile = trainer.run_iteration(BATCH)
+    print(
+        f"  {label:42s} {profile.throughput:8.1f} samples/s  "
+        f"(scaling efficiency {profile.scaling_efficiency * 100:5.1f}%, "
+        f"comm {profile.communication_fraction * 100:4.1f}% of iteration)"
+    )
+
+
+def main() -> None:
+    single = DataParallelTrainer(
+        MODEL, FRAMEWORK, parse_configuration("1M1G")
+    ).run_iteration(BATCH)
+    print(f"baseline 1M1G: {single.throughput:.1f} samples/s\n")
+
+    print("two machines, fabric sweep (parameter server):")
+    for fabric in ("1gbe", "10gbe", "infiniband", "nvlink"):
+        run(fabric, fabric, ParameterServerExchange())
+    print()
+
+    print("two machines, software levers on 1GbE (the broken fabric):")
+    run("parameter server", "1gbe", ParameterServerExchange())
+    run("ring all-reduce", "1gbe", RingAllReduceExchange())
+    run("parameter server + fp16 gradients", "1gbe",
+        HalfPrecisionGradients(ParameterServerExchange()))
+    run("ring all-reduce + fp16 gradients", "1gbe",
+        HalfPrecisionGradients(RingAllReduceExchange()))
+    run("parameter server + top-1% gradients", "1gbe",
+        TopKSparsification(ParameterServerExchange(), 0.01))
+    print()
+
+    print("single machine, GPU-count sweep (PCIe 3.0):")
+    for gpus in (1, 2, 4):
+        cluster = parse_configuration(f"1M{gpus}G")
+        profile = DataParallelTrainer(MODEL, FRAMEWORK, cluster).run_iteration(BATCH)
+        print(
+            f"  1M{gpus}G: {profile.throughput:8.1f} samples/s "
+            f"({profile.throughput / single.throughput:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Regenerate the paper's entire evaluation section: every table and every
+figure, printed in paper order.
+
+Usage::
+
+    python examples/full_evaluation.py            # everything (~10 s)
+    python examples/full_evaluation.py fig4 fig9  # just the named exhibits
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, table5_6
+
+#: Paper order, with the renderer for each exhibit.
+_ORDER = (
+    "table1",
+    "fig1_fig3",
+    "table2_3",
+    "fig2",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table5_6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+)
+
+
+def render(name: str) -> str:
+    module = ALL_EXPERIMENTS[name]
+    if module is table5_6:
+        return module.render_both()
+    return module.render()
+
+
+def main(argv) -> None:
+    wanted = argv[1:] if len(argv) > 1 else list(_ORDER)
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown exhibit(s) {unknown}; choose from {sorted(ALL_EXPERIMENTS)}"
+        )
+    for name in wanted:
+        start = time.perf_counter()
+        text = render(name)
+        elapsed = time.perf_counter() - start
+        print("=" * 78)
+        print(f"{name}  (regenerated in {elapsed:.2f} s)")
+        print("=" * 78)
+        print(text)
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,60 @@
+"""Memory planning with the TBD memory profiler — the paper's Observation 12
+as a decision tool.
+
+The paper finds that exhausting GPU memory with the largest mini-batch is
+often inefficient: past the throughput saturation point, the extra memory
+buys almost nothing, while the same gigabytes could hold a deeper model or
+faster (workspace-hungrier) convolution algorithms.  This example maps the
+trade-off for every suite model: memory footprint vs. throughput across the
+batch sweep, the largest batch that fits, and the throughput cost of
+stepping one batch size down.
+"""
+
+from repro.core.suite import standard_suite
+from repro.hardware.memory import OutOfMemoryError
+from repro.profiling.memory_profiler import MemoryProfiler
+
+
+def main() -> None:
+    suite = standard_suite()
+    profiler = MemoryProfiler(gpu=suite.gpu)
+    print(
+        f"memory-vs-throughput planning on {suite.gpu.name} "
+        f"({suite.gpu.memory_gb:.0f} GB)\n"
+    )
+    for spec, framework in suite.configurations():
+        if len(spec.batch_sizes) < 2:
+            continue
+        rows = []
+        for batch in spec.batch_sizes:
+            try:
+                memory = profiler.profile(spec.key, framework.key, batch)
+                metrics = suite.run(spec.key, framework.key, batch)
+            except OutOfMemoryError:
+                rows.append((batch, None, None))
+                continue
+            rows.append((batch, memory.total_gib, metrics.throughput))
+        print(f"{spec.display_name} ({framework.name})")
+        for batch, gib, throughput in rows:
+            if gib is None:
+                print(f"  b={batch:<5d} does not fit")
+                continue
+            print(
+                f"  b={batch:<5d} {gib:5.2f} GiB  "
+                f"{throughput:9.1f} {spec.throughput_unit}"
+            )
+        fitting = [(b, g, t) for b, g, t in rows if g is not None]
+        if len(fitting) >= 2:
+            (b1, g1, t1), (b2, g2, t2) = fitting[-2], fitting[-1]
+            saved = g2 - g1
+            lost = (t2 - t1) / t2 * 100.0
+            print(
+                f"  -> stepping b={b2} down to b={b1} frees {saved:.2f} GiB "
+                f"for {lost:.1f}% throughput (Obs. 12: spend it on depth or "
+                f"workspace instead)"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

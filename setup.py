@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this repo ships in has no ``wheel`` package and no network,
+so PEP-517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

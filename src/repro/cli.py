@@ -1,0 +1,271 @@
+"""``tbd`` — command-line interface to the suite and toolchain.
+
+Subcommands:
+
+- ``tbd run MODEL [-f FW] [-b BATCH] [-g GPU]`` — one configuration, all
+  headline metrics.
+- ``tbd sweep MODEL [-f FW]`` — the model's mini-batch sweep.
+- ``tbd analyze MODEL [-f FW] [-b BATCH]`` — the full Fig. 3 pipeline
+  report, plus the optimization advisor's recommendations.
+- ``tbd exhibit NAME [...]`` — regenerate tables/figures (``all`` = paper
+  order).
+- ``tbd observations`` — verify the 13 observations.
+- ``tbd memory MODEL [-f FW] [-b BATCH]`` — the five-way breakdown.
+- ``tbd distributed [-b BATCH]`` — the Fig. 10 configurations.
+- ``tbd models`` / ``tbd frameworks`` / ``tbd datasets`` — the catalogs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.analysis import AnalysisPipeline
+from repro.core.observations import verify_all
+from repro.core.recommendations import advise
+from repro.core.suite import standard_suite, TBDSuite
+from repro.data.registry import dataset_catalog
+from repro.frameworks.registry import framework_catalog
+from repro.hardware.devices import get_gpu
+from repro.models.registry import extension_catalog, model_catalog
+
+
+def _suite(args) -> TBDSuite:
+    gpu = get_gpu(args.gpu) if getattr(args, "gpu", None) else None
+    return TBDSuite(gpu=gpu) if gpu else standard_suite()
+
+
+def _cmd_run(args) -> int:
+    suite = _suite(args)
+    metrics = suite.run(args.model, args.framework, args.batch)
+    print(metrics.format_row())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    suite = _suite(args)
+    for point in suite.sweep(args.model, args.framework):
+        if point.oom:
+            print(f"b={point.batch_size:<6d} OOM")
+        else:
+            print(point.metrics.format_row())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    gpu = get_gpu(args.gpu) if args.gpu else None
+    kwargs = {"gpu": gpu} if gpu else {}
+    report = AnalysisPipeline(args.model, args.framework, **kwargs).run(args.batch)
+    print(report.summary())
+    recommendations = advise(report)
+    if recommendations:
+        print("\nrecommendations:")
+        for recommendation in recommendations:
+            print(f"  {recommendation}")
+    else:
+        print("\nno optimization recommendations triggered")
+    return 0
+
+
+def _render_exhibit(names) -> int:
+    from repro.experiments import ALL_EXPERIMENTS, table5_6
+
+    order = (
+        "table1", "fig1_fig3", "table2_3", "fig2", "table4", "fig4", "fig5",
+        "fig6", "table5_6", "fig7", "fig8", "fig9", "fig10",
+    )
+    wanted = list(order) if names == ["all"] else names
+    unknown = [name for name in wanted if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown exhibit(s): {unknown}; known: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        module = ALL_EXPERIMENTS[name]
+        print("=" * 72)
+        print(name)
+        print("=" * 72)
+        print(module.render_both() if module is table5_6 else module.render())
+        print()
+    return 0
+
+
+def _cmd_observations(_args) -> int:
+    results = verify_all()
+    failures = 0
+    for result in results:
+        mark = "PASS" if result.holds else "FAIL"
+        failures += 0 if result.holds else 1
+        print(f"[{mark}] Obs {result.number:2d}: {result.title}")
+        print(f"       {result.evidence}")
+    return 1 if failures else 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.profiling.memory_profiler import MemoryProfiler
+
+    gpu = get_gpu(args.gpu) if args.gpu else None
+    profile = MemoryProfiler(gpu=gpu).profile(
+        args.model, args.framework, args.batch or _suite(args).model(args.model).reference_batch
+    )
+    print(profile.format_row())
+    return 0
+
+
+def _cmd_distributed(args) -> int:
+    from repro.distributed import DataParallelTrainer
+    from repro.distributed.topology import standard_configurations
+
+    batch = args.batch or 32
+    for label, cluster in standard_configurations().items():
+        trainer = DataParallelTrainer(args.model, args.framework, cluster)
+        profile = trainer.run_iteration(batch)
+        print(
+            f"{label:22s} {profile.throughput:9.1f} samples/s  "
+            f"(eff {profile.scaling_efficiency * 100:5.1f}%, "
+            f"comm {profile.communication_fraction * 100:4.1f}%)"
+        )
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    for spec in model_catalog().values():
+        frameworks = ",".join(spec.frameworks)
+        print(
+            f"{spec.key:16s} {spec.application:28s} layers={spec.paper_layer_count:<4d} "
+            f"[{frameworks}]"
+        )
+    print("-- extensions --")
+    for spec in extension_catalog().values():
+        print(f"{spec.key:16s} {spec.application:28s} {spec.notes[:50]}")
+    return 0
+
+
+def _cmd_frameworks(_args) -> int:
+    for framework in framework_catalog().values():
+        print(
+            f"{framework.name:12s} v{framework.version:8s} "
+            f"dispatch={framework.dispatch_cost_s * 1e6:.0f}us "
+            f"pool={framework.pool_overhead:.2f} "
+            f"momentum={framework.momentum_allocation.value}"
+        )
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.models.inspect import render_summary
+
+    print(render_summary(args.model, args.batch))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.core.html_report import write_report
+
+    write_report(args.output, observations=not args.no_observations)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.profiling.comparison import ab_compare
+
+    report = ab_compare(
+        args.model, args.framework_a, args.framework_b, args.batch
+    )
+    print(
+        f"{report.label_a}: {report.mean_a:.1f} "
+        f"[{report.ci_a[0]:.1f}, {report.ci_a[1]:.1f}]  vs  "
+        f"{report.label_b}: {report.mean_b:.1f} "
+        f"[{report.ci_b[0]:.1f}, {report.ci_b[1]:.1f}]"
+    )
+    print(report.verdict)
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    for dataset in dataset_catalog().values():
+        samples = f"{dataset.num_samples:,}" if dataset.num_samples else "N/A"
+        print(f"{dataset.key:22s} {samples:>10s}  {dataset.size_description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``tbd`` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="tbd", description="TBD: Training Benchmark for DNNs (reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_config(p, batch_default=None):
+        p.add_argument("model")
+        p.add_argument("-f", "--framework", default="tensorflow")
+        p.add_argument("-b", "--batch", type=int, default=batch_default)
+        p.add_argument("-g", "--gpu", default=None, help="p4000 | 'titan xp' | gtx580")
+
+    run = sub.add_parser("run", help="run one configuration")
+    add_config(run)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="mini-batch sweep")
+    sweep.add_argument("model")
+    sweep.add_argument("-f", "--framework", default="tensorflow")
+    sweep.add_argument("-g", "--gpu", default=None)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    analyze = sub.add_parser("analyze", help="full analysis pipeline + advice")
+    add_config(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    exhibit = sub.add_parser("exhibit", help="regenerate tables/figures")
+    exhibit.add_argument("names", nargs="+", help="fig4 table5_6 ... or 'all'")
+    exhibit.set_defaults(func=lambda args: _render_exhibit(args.names))
+
+    observations = sub.add_parser("observations", help="verify the 13 observations")
+    observations.set_defaults(func=_cmd_observations)
+
+    memory = sub.add_parser("memory", help="five-way memory breakdown")
+    add_config(memory)
+    memory.set_defaults(func=_cmd_memory)
+
+    distributed = sub.add_parser("distributed", help="Fig. 10 configurations")
+    distributed.add_argument("model", nargs="?", default="resnet-50")
+    distributed.add_argument("-f", "--framework", default="mxnet")
+    distributed.add_argument("-b", "--batch", type=int, default=None)
+    distributed.set_defaults(func=_cmd_distributed)
+
+    inspect = sub.add_parser("inspect", help="per-layer model summary")
+    inspect.add_argument("model")
+    inspect.add_argument("-b", "--batch", type=int, default=None)
+    inspect.set_defaults(func=_cmd_inspect)
+
+    report = sub.add_parser("report", help="write the full HTML report")
+    report.add_argument("-o", "--output", default="tbd_report.html")
+    report.add_argument("--no-observations", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    compare = sub.add_parser("compare", help="A/B framework comparison")
+    compare.add_argument("model")
+    compare.add_argument("framework_a")
+    compare.add_argument("framework_b")
+    compare.add_argument("-b", "--batch", type=int, required=True)
+    compare.set_defaults(func=_cmd_compare)
+
+    for name, handler in (
+        ("models", _cmd_models),
+        ("frameworks", _cmd_frameworks),
+        ("datasets", _cmd_datasets),
+    ):
+        lister = sub.add_parser(name, help=f"list {name}")
+        lister.set_defaults(func=handler)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Single-file HTML report: the full reproduced evaluation in a browser.
+
+``build_report()`` regenerates every exhibit, wraps each rendering in a
+section with its paper anchor (from :mod:`repro.core.paper`) and the
+observation checklist, and emits one self-contained HTML file — no
+external assets, ready to attach to a review or open locally.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+
+from repro.core import paper
+from repro.core.observations import verify_all
+from repro.experiments import ALL_EXPERIMENTS, table5_6
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 62rem; margin: 2rem auto;
+       color: #1a1a1a; line-height: 1.45; padding: 0 1rem; }
+h1 { font-size: 1.6rem; border-bottom: 2px solid #333; padding-bottom: .4rem; }
+h2 { font-size: 1.15rem; margin-top: 2.2rem; }
+pre { background: #f6f5f2; border: 1px solid #ddd; padding: .8rem;
+      overflow-x: auto; font-size: .78rem; line-height: 1.35; }
+.anchor { color: #666; font-size: .85rem; }
+.pass { color: #1f6f3f; font-weight: bold; }
+.fail { color: #9f1f1f; font-weight: bold; }
+table.obs { border-collapse: collapse; font-size: .85rem; }
+table.obs td { border: 1px solid #ccc; padding: .3rem .6rem; vertical-align: top; }
+footer { margin-top: 3rem; color: #777; font-size: .8rem; }
+"""
+
+_ORDER = (
+    "table1",
+    "fig1_fig3",
+    "table2_3",
+    "fig2",
+    "table4",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table5_6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+)
+
+
+def _render_exhibit(key: str) -> str:
+    module = ALL_EXPERIMENTS[key]
+    if module is table5_6:
+        return module.render_both()
+    return module.render()
+
+
+def build_report(observations: bool = True, exhibits=None) -> str:
+    """Regenerate the evaluation and return it as an HTML document string.
+
+    Args:
+        observations: include the 13-observation checklist.
+        exhibits: exhibit keys to include (default: all, paper order).
+    """
+    wanted = list(exhibits) if exhibits is not None else list(_ORDER)
+    unknown = [key for key in wanted if key not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown exhibits: {unknown}")
+
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(paper.TITLE)} — reproduction report</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(paper.TITLE)}</h1>",
+        f"<p class='anchor'>reproduction report &middot; "
+        f"{html.escape(paper.citation())}</p>",
+    ]
+
+    if observations:
+        parts.append("<h2>The 13 observations</h2><table class='obs'>")
+        for result in verify_all():
+            quote = paper.observation(result.number).quote
+            status = (
+                "<span class='pass'>PASS</span>"
+                if result.holds
+                else "<span class='fail'>FAIL</span>"
+            )
+            parts.append(
+                f"<tr><td>{status}</td><td><b>Obs. {result.number}</b> "
+                f"(&sect;{paper.observation(result.number).section})<br>"
+                f"<i>{html.escape(quote)}</i><br>"
+                f"{html.escape(result.evidence)}</td></tr>"
+            )
+        parts.append("</table>")
+
+    for key in wanted:
+        anchor = paper.exhibit(key)
+        parts.append(
+            f"<h2>{html.escape(key)} <span class='anchor'>&sect;{anchor.section} "
+            f"— {html.escape(anchor.caption)}</span></h2>"
+        )
+        parts.append(f"<pre>{html.escape(_render_exhibit(key))}</pre>")
+
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S")
+    parts.append(
+        f"<footer>generated {stamp} by the repro simulator; see "
+        "EXPERIMENTS.md for paper-vs-measured notes.</footer></body></html>"
+    )
+    return "".join(parts)
+
+
+def write_report(path: str, **kwargs) -> None:
+    """Build and write the HTML report to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(build_report(**kwargs))

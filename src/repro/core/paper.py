@@ -1,0 +1,146 @@
+"""Machine-readable paper metadata: provenance for every reproduced claim.
+
+Each exhibit, observation and headline claim in this repository traces
+back to a specific place in the paper; this module records those anchors
+so reports, tests and documentation can cite them programmatically
+(``observation(5).quote``, ``exhibit("fig9").section``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TITLE = "TBD: Benchmarking and Analyzing Deep Neural Network Training"
+AUTHORS = (
+    "Hongyu Zhu",
+    "Mohamed Akrout",
+    "Bojian Zheng",
+    "Andrew Pelegris",
+    "Amar Phanishayee",
+    "Bianca Schroeder",
+    "Gennady Pekhimenko",
+)
+VENUE = "IISWC 2018"
+ARXIV = "1803.06905v2"
+
+
+@dataclass(frozen=True)
+class ObservationText:
+    """One numbered observation as the paper states it."""
+
+    number: int
+    section: str
+    quote: str
+
+
+#: The paper's 13 observations, quoted (abridged to the operative clause).
+OBSERVATIONS = {
+    1: ObservationText(
+        1, "4.2.1", "Performance increases with the mini-batch size for all models."
+    ),
+    2: ObservationText(
+        2,
+        "4.2.1",
+        "The performance of RNN-based models is not saturated within the "
+        "GPU's memory constraints.",
+    ),
+    3: ObservationText(
+        3,
+        "4.2.1",
+        "Application diversity is important when comparing performance of "
+        "different frameworks.",
+    ),
+    4: ObservationText(
+        4,
+        "4.2.2",
+        "The mini-batch size should be large enough to keep the GPU busy.",
+    ),
+    5: ObservationText(
+        5, "4.2.2", "The GPU compute utilization is low for LSTM-based models."
+    ),
+    6: ObservationText(
+        6,
+        "4.2.3",
+        "The mini-batch size should be large enough to exploit the FP32 "
+        "computational power of GPU cores.",
+    ),
+    7: ObservationText(
+        7, "4.2.3", "RNN-based models have low GPU FP32 utilization."
+    ),
+    8: ObservationText(
+        8,
+        "4.2.3",
+        "There exist kernels with long duration, but low FP32 utilization, "
+        "even for highly optimized models.",
+    ),
+    9: ObservationText(9, "4.2.4", "CPU utilization is low in DNN training."),
+    10: ObservationText(
+        10,
+        "4.3",
+        "More advanced GPUs should be accompanied by better systems designs "
+        "and more efficient low-level libraries.",
+    ),
+    11: ObservationText(
+        11, "4.4", "Feature maps are the dominant consumers of memory."
+    ),
+    12: ObservationText(
+        12,
+        "4.4",
+        "Simply exhausting GPU memory with large mini-batch size might be "
+        "inefficient.",
+    ),
+    13: ObservationText(
+        13, "4.5", "Network bandwidth must be large enough for good scalability."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ExhibitAnchor:
+    """Where one table/figure lives in the paper."""
+
+    key: str
+    caption: str
+    section: str
+
+
+EXHIBITS = {
+    "table1": ExhibitAnchor("table1", "Categorization of major computer architecture and systems conference papers since 2014", "1"),
+    "fig1_fig3": ExhibitAnchor("fig1_fig3", "Feed-forward and back-propagation; analysis pipeline", "2.1 / 3.4"),
+    "table2_3": ExhibitAnchor("table2_3", "Overview of benchmarks; training datasets", "3.1"),
+    "fig2": ExhibitAnchor("fig2", "The model accuracy during the training for different models", "3.3"),
+    "table4": ExhibitAnchor("table4", "Hardware specifications", "4.1"),
+    "fig4": ExhibitAnchor("fig4", "DNN training throughput for different models on multiple mini-batch sizes", "4.2.1"),
+    "fig5": ExhibitAnchor("fig5", "GPU compute utilization for different models on multiple mini-batch sizes", "4.2.2"),
+    "fig6": ExhibitAnchor("fig6", "GPU FP32 utilization for different models on multiple mini-batch sizes", "4.2.3"),
+    "table5_6": ExhibitAnchor("table5_6", "Longest 5 kernels with utilization level below the average (ResNet-50, mini-batch 32)", "4.2.3"),
+    "fig7": ExhibitAnchor("fig7", "Average CPU utilization for different models", "4.2.4"),
+    "fig8": ExhibitAnchor("fig8", "Throughput, compute utilization, FP32 utilization comparison between P4000 and Titan Xp", "4.3"),
+    "fig9": ExhibitAnchor("fig9", "GPU memory usage breakdown for different models on multiple mini-batch sizes", "4.4"),
+    "fig10": ExhibitAnchor("fig10", "ResNet-50 on MXNet with multiple GPUs/machines", "4.5"),
+}
+
+
+def observation(number: int) -> ObservationText:
+    """The paper's wording for one observation.
+
+    Raises:
+        KeyError: outside 1-13.
+    """
+    if number not in OBSERVATIONS:
+        raise KeyError(f"observations run 1-13, got {number}")
+    return OBSERVATIONS[number]
+
+
+def exhibit(key: str) -> ExhibitAnchor:
+    """Paper anchor for one exhibit key (as used by repro.experiments)."""
+    if key not in EXHIBITS:
+        known = ", ".join(sorted(EXHIBITS))
+        raise KeyError(f"unknown exhibit {key!r}; known: {known}")
+    return EXHIBITS[key]
+
+
+def citation() -> str:
+    """A plain-text citation for the reproduced paper."""
+    authors = ", ".join(AUTHORS)
+    return f"{authors}. {TITLE}. {VENUE}. arXiv:{ARXIV}."

@@ -1,0 +1,122 @@
+"""Golden-baseline regression protection for the calibration.
+
+The simulator's value lies in its calibrated agreement with the paper; an
+innocent-looking change to an efficiency constant can silently break a
+dozen exhibits.  This module snapshots the headline quantities of every
+suite configuration into a JSON *baseline file* (checked into the
+repository as ``baselines.json``) and compares live runs against it within
+tolerances — the test suite fails if calibration drifts.
+
+Regenerate intentionally after a deliberate recalibration:
+
+    python -m repro.core.regression   # rewrites baselines.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.core.suite import standard_suite
+
+#: Default baseline location: the repository root.
+DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "baselines.json")
+
+#: Relative tolerance per metric when comparing against baselines.
+TOLERANCES = {
+    "throughput": 0.02,
+    "gpu_utilization": 0.02,
+    "fp32_utilization": 0.02,
+    "cpu_utilization": 0.05,
+}
+
+
+def capture_baselines(suite=None) -> dict:
+    """Measure every suite configuration's headline metrics."""
+    suite = suite if suite is not None else standard_suite()
+    baselines = {}
+    for spec, framework in suite.configurations():
+        metrics = suite.run(spec.key, framework.key)
+        baselines[f"{spec.key}/{framework.key}"] = {
+            "batch_size": metrics.batch_size,
+            "throughput": metrics.throughput,
+            "gpu_utilization": metrics.gpu_utilization,
+            "fp32_utilization": metrics.fp32_utilization,
+            "cpu_utilization": metrics.cpu_utilization,
+        }
+    return baselines
+
+
+def save_baselines(path: str = DEFAULT_PATH, suite=None) -> dict:
+    """Capture and write the baseline file; returns the data."""
+    baselines = capture_baselines(suite)
+    with open(path, "w") as handle:
+        json.dump(baselines, handle, indent=2, sort_keys=True)
+    return baselines
+
+
+def load_baselines(path: str = DEFAULT_PATH) -> dict:
+    """Load the checked-in baselines.
+
+    Raises:
+        FileNotFoundError: if no baseline file exists yet.
+    """
+    with open(path) as handle:
+        return json.load(handle)
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One metric that moved outside its tolerance."""
+
+    configuration: str
+    metric: str
+    baseline: float
+    measured: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.measured else 0.0
+        return (self.measured - self.baseline) / self.baseline
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.configuration}.{self.metric}: {self.baseline:.4f} -> "
+            f"{self.measured:.4f} ({self.relative_change:+.1%})"
+        )
+
+
+def detect_drift(path: str = DEFAULT_PATH, suite=None) -> list:
+    """Compare live metrics against the baseline file.
+
+    Returns:
+        A list of :class:`Drift` records (empty = calibration intact).
+    """
+    baselines = load_baselines(path)
+    current = capture_baselines(suite)
+    drifts = []
+    for configuration, baseline in baselines.items():
+        measured = current.get(configuration)
+        if measured is None:
+            drifts.append(Drift(configuration, "<missing>", 1.0, 0.0))
+            continue
+        for metric, tolerance in TOLERANCES.items():
+            reference = baseline[metric]
+            value = measured[metric]
+            if reference == 0:
+                if value != 0:
+                    drifts.append(Drift(configuration, metric, reference, value))
+                continue
+            if abs(value - reference) / abs(reference) > tolerance:
+                drifts.append(Drift(configuration, metric, reference, value))
+    for configuration in current:
+        if configuration not in baselines:
+            drifts.append(Drift(configuration, "<new>", 0.0, 1.0))
+    return drifts
+
+
+if __name__ == "__main__":
+    data = save_baselines()
+    print(f"wrote {len(data)} configuration baselines to {DEFAULT_PATH}")

@@ -1,0 +1,134 @@
+"""The TBD suite object: the runnable catalog of Table 2.
+
+    suite = standard_suite()
+    result = suite.run("resnet-50", framework="mxnet", batch_size=32)
+    sweep  = suite.sweep("nmt", framework="tensorflow")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import IterationMetrics
+from repro.data.registry import dataset_catalog, get_dataset
+from repro.frameworks.registry import framework_catalog, get_framework
+from repro.hardware.devices import GPUSpec, QUADRO_P4000
+from repro.hardware.memory import OutOfMemoryError
+from repro.models.registry import ModelSpec, get_model, model_catalog
+from repro.training.hyperparams import assert_comparable, defaults_for
+from repro.training.session import TrainingSession
+
+
+@dataclass
+class SweepPoint:
+    """One (batch size, metrics) point of a mini-batch sweep; ``oom`` marks
+    configurations that exceeded GPU memory."""
+
+    batch_size: int
+    metrics: IterationMetrics = None
+    oom: bool = False
+
+
+class TBDSuite:
+    """The Training Benchmark for DNNs.
+
+    Holds the model/framework/dataset catalogs and runs configurations on a
+    chosen GPU.  The suite enforces the paper's comparability rule
+    (Section 3.4.1) whenever one model is compared across frameworks: all
+    implementations must share hyper-parameters.
+    """
+
+    def __init__(self, gpu: GPUSpec = QUADRO_P4000):
+        self.gpu = gpu
+        self.models = model_catalog()
+        self.frameworks = framework_catalog()
+        self.datasets = dataset_catalog()
+
+    # ------------------------------------------------------------------
+    # catalogs
+    # ------------------------------------------------------------------
+
+    def model(self, key: str) -> ModelSpec:
+        """Look up one model spec."""
+        return get_model(key)
+
+    def configurations(self):
+        """Yield every (model, framework) pair the paper evaluates."""
+        for spec in self.models.values():
+            for framework_key in spec.frameworks:
+                yield spec, get_framework(framework_key)
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+
+    def session(self, model: str, framework: str) -> TrainingSession:
+        """Create a training session on this suite's GPU."""
+        return TrainingSession(model, framework, gpu=self.gpu)
+
+    def run(
+        self, model: str, framework: str, batch_size: int | None = None
+    ) -> IterationMetrics:
+        """Run one configuration and return its headline metrics.
+
+        Raises:
+            OutOfMemoryError: if the configuration exceeds GPU memory.
+            ValueError: if the paper has no such implementation.
+        """
+        session = self.session(model, framework)
+        profile = session.run_iteration(batch_size)
+        return IterationMetrics.from_profile(
+            profile, throughput_unit=session.spec.throughput_unit
+        )
+
+    def sweep(
+        self, model: str, framework: str, batch_sizes=None
+    ) -> list:
+        """Run the model's mini-batch sweep (Figs. 4-6 x-axes); OOM points
+        are recorded, not raised."""
+        session = self.session(model, framework)
+        sizes = batch_sizes if batch_sizes is not None else session.spec.batch_sizes
+        points = []
+        for batch in sizes:
+            try:
+                profile = session.run_iteration(batch)
+            except OutOfMemoryError:
+                points.append(SweepPoint(batch_size=batch, oom=True))
+                continue
+            points.append(
+                SweepPoint(
+                    batch_size=batch,
+                    metrics=IterationMetrics.from_profile(
+                        profile, throughput_unit=session.spec.throughput_unit
+                    ),
+                )
+            )
+        return points
+
+    def compare_frameworks(self, model: str, batch_size: int | None = None) -> dict:
+        """Run one model on every framework that implements it, after
+        checking implementations are comparable (same hyper-parameters)."""
+        spec = get_model(model)
+        reference = defaults_for(spec.key)
+        assert_comparable(spec.key, *([reference] * len(spec.frameworks)))
+        results = {}
+        for framework_key in spec.frameworks:
+            results[framework_key] = self.run(model, framework_key, batch_size)
+        return results
+
+    def run_all(self) -> list:
+        """Run every configuration at its reference batch size."""
+        results = []
+        for spec, framework in self.configurations():
+            results.append(self.run(spec.key, framework.key))
+        return results
+
+    def validate_dataset_bindings(self) -> None:
+        """Ensure every model's dataset exists (catalog integrity check)."""
+        for spec in self.models.values():
+            get_dataset(spec.dataset)
+
+
+def standard_suite(gpu: GPUSpec = QUADRO_P4000) -> TBDSuite:
+    """The paper's suite on its primary evaluation GPU (Quadro P4000)."""
+    return TBDSuite(gpu=gpu)

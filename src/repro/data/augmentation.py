@@ -1,0 +1,94 @@
+"""Input augmentation for the real training pipeline.
+
+The ImageNet decode cost the CPU-utilization analysis charges (16 ms per
+image) is decode *plus augmentation*; these are the augmentations, as real
+numpy transforms over NCHW batches.  They feed the mini-model training
+examples and let the pipeline tests exercise an actual producer workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_crop(
+    images: np.ndarray, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random spatial crop of an NCHW batch to ``size x size``.
+
+    Raises:
+        ValueError: if the crop exceeds the image.
+    """
+    batch, channels, height, width = images.shape
+    if size > height or size > width:
+        raise ValueError(f"crop {size} exceeds image {height}x{width}")
+    out = np.empty((batch, channels, size, size), dtype=images.dtype)
+    tops = rng.integers(0, height - size + 1, size=batch)
+    lefts = rng.integers(0, width - size + 1, size=batch)
+    for index, (top, left) in enumerate(zip(tops, lefts)):
+        out[index] = images[index, :, top : top + size, left : left + size]
+    return out
+
+
+def center_crop(images: np.ndarray, size: int) -> np.ndarray:
+    """Deterministic central crop (the evaluation-time counterpart)."""
+    batch, channels, height, width = images.shape
+    if size > height or size > width:
+        raise ValueError(f"crop {size} exceeds image {height}x{width}")
+    top = (height - size) // 2
+    left = (width - size) // 2
+    return images[:, :, top : top + size, left : left + size].copy()
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    out = images.copy()
+    flips = rng.random(images.shape[0]) < probability
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def normalize(
+    images: np.ndarray, mean, std
+) -> np.ndarray:
+    """Per-channel standardization (the ImageNet mean/std step)."""
+    mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+    std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+    if np.any(std == 0):
+        raise ValueError("std must be nonzero")
+    return (images - mean) / std
+
+
+class AugmentationPipeline:
+    """Composable train-time augmentation: crop -> flip -> normalize."""
+
+    def __init__(
+        self,
+        crop_size: int,
+        mean=(0.485, 0.456, 0.406),
+        std=(0.229, 0.224, 0.225),
+        flip_probability: float = 0.5,
+        seed: int = 0,
+    ):
+        if crop_size <= 0:
+            raise ValueError("crop size must be positive")
+        self.crop_size = crop_size
+        self.mean = mean
+        self.std = std
+        self.flip_probability = flip_probability
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray, training: bool = True) -> np.ndarray:
+        """Apply the pipeline to an NCHW batch."""
+        if training:
+            images = random_crop(images, self.crop_size, self._rng)
+            images = random_horizontal_flip(
+                images, self._rng, self.flip_probability
+            )
+        else:
+            images = center_crop(images, self.crop_size)
+        return normalize(images, self.mean, self.std)

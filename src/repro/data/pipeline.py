@@ -1,0 +1,55 @@
+"""Host-side input pipeline model.
+
+Frameworks decode and augment input samples on CPU worker threads and
+prefetch batches so that (ideally) the GPU never waits.  The model:
+
+- total CPU work per iteration: ``batch x decode_cost x framework factor``
+  (core-seconds — this is what the vTune-style CPU utilization sees);
+- wall-clock occupancy: the work spreads over ``worker_threads`` cores;
+- exposure: whatever the framework fails to overlap
+  (``1 - data_pipeline_efficiency``) adds to the iteration's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.base import DatasetSpec
+from repro.frameworks.base import Framework
+
+
+@dataclass(frozen=True)
+class PipelineCost:
+    """Resolved input-pipeline cost for one training iteration."""
+
+    cpu_core_seconds: float  # total CPU work (for CPU-utilization accounting)
+    wall_seconds: float  # time the pipeline occupies its worker pool
+    exposed_seconds: float  # serial contribution to the iteration time
+
+
+class DataPipelineModel:
+    """Computes per-iteration input-pipeline costs."""
+
+    def __init__(self, dataset: DatasetSpec, worker_threads: int = 4):
+        if worker_threads <= 0:
+            raise ValueError("worker thread count must be positive")
+        self.dataset = dataset
+        self.worker_threads = worker_threads
+
+    def cost(self, batch_size: int, framework: Framework) -> PipelineCost:
+        """Pipeline cost of one ``batch_size``-sample iteration under
+        ``framework``'s pipeline implementation."""
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        core_seconds = (
+            batch_size
+            * self.dataset.cpu_decode_cost_s
+            * framework.pipeline_cost_factor
+        )
+        wall = core_seconds / self.worker_threads
+        exposed = wall * (1.0 - framework.data_pipeline_efficiency)
+        return PipelineCost(
+            cpu_core_seconds=core_seconds,
+            wall_seconds=wall,
+            exposed_seconds=exposed,
+        )

@@ -1,0 +1,72 @@
+"""Ring all-reduce gradient exchange (the NCCL-style alternative to the
+parameter server; included for the what-if analyses in the examples).
+
+A ring all-reduce over ``n`` workers moves ``2 * (n - 1) / n`` of the
+gradient volume per worker in ``2 * (n - 1)`` steps; with per-step link
+latency this gives
+
+    t = 2 * (n - 1) * latency + 2 * gradient_bytes * (n - 1) / (n * bw)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.interconnect import Interconnect
+
+
+@dataclass(frozen=True)
+class AllReduceCost:
+    """Resolved cost of one all-reduce."""
+
+    total_s: float
+    steps: int
+
+    @property
+    def intra_machine_s(self) -> float:  # interface parity with PS exchange
+        return 0.0
+
+    @property
+    def inter_machine_s(self) -> float:
+        return self.total_s
+
+    @property
+    def aggregation_s(self) -> float:
+        return 0.0
+
+
+def ring_allreduce_time(
+    gradient_bytes: float, workers: int, link: Interconnect
+) -> float:
+    """Time for one ring all-reduce of ``gradient_bytes`` over ``workers``."""
+    if gradient_bytes < 0:
+        raise ValueError("gradient bytes cannot be negative")
+    if workers <= 0:
+        raise ValueError("worker count must be positive")
+    if workers == 1:
+        return 0.0
+    steps = 2 * (workers - 1)
+    volume = 2.0 * gradient_bytes * (workers - 1) / workers
+    return steps * link.latency_s + volume / link.effective_bandwidth_bytes
+
+
+class RingAllReduceExchange:
+    """Synchronous ring all-reduce over a cluster.
+
+    The ring spans all GPUs; the slowest link on the ring (the inter-machine
+    fabric, when distributed) bounds the bandwidth term.
+    """
+
+    name = "ring all-reduce"
+
+    def cost(self, gradient_bytes: float, cluster: ClusterSpec) -> AllReduceCost:
+        """Cost of one all-reduce of ``gradient_bytes`` over the cluster."""
+        workers = cluster.total_gpus
+        if workers <= 1:
+            return AllReduceCost(total_s=0.0, steps=0)
+        link = (
+            cluster.inter_link if cluster.is_distributed else cluster.machine.intra_link
+        )
+        total = ring_allreduce_time(gradient_bytes, workers, link)
+        return AllReduceCost(total_s=total, steps=2 * (workers - 1))

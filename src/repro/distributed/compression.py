@@ -1,0 +1,90 @@
+"""Gradient-compression wrappers for the exchange mechanisms.
+
+Observation 13's closing recommendation: "different techniques (in both
+software and hardware) should be applied to either reduce the amount of
+data sent or increase the available bandwidth."  These wrappers implement
+the *reduce the data* half as composable decorators over any exchange
+(parameter server or all-reduce):
+
+- :class:`HalfPrecisionGradients` — FP16 gradient transport (2x);
+- :class:`TopKSparsification` — send the largest k fraction of gradients
+  plus indices (Aji & Heafield-style), with an error-feedback iteration
+  overhead charged on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompressedCost:
+    """Exchange cost after compression, plus the compression work itself."""
+
+    intra_machine_s: float
+    inter_machine_s: float
+    aggregation_s: float
+    compression_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.intra_machine_s
+            + self.inter_machine_s
+            + self.aggregation_s
+            + self.compression_s
+        )
+
+
+class HalfPrecisionGradients:
+    """FP16 gradient transport over an inner exchange (2x fewer bytes).
+
+    The cast itself is bandwidth-trivial on the GPU; no extra compression
+    time is charged.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = f"{inner.name} + fp16 gradients"
+
+    def cost(self, gradient_bytes: float, cluster) -> CompressedCost:
+        """Inner exchange cost at half the gradient volume."""
+        base = self.inner.cost(gradient_bytes / 2.0, cluster)
+        return CompressedCost(
+            intra_machine_s=base.intra_machine_s,
+            inter_machine_s=base.inter_machine_s,
+            aggregation_s=base.aggregation_s,
+            compression_s=0.0,
+        )
+
+
+class TopKSparsification:
+    """Top-k gradient sparsification over an inner exchange.
+
+    Transports ``k`` of the gradient values plus 4-byte indices; charges a
+    selection pass (one read of the full gradient at GPU memory bandwidth)
+    as compression time.
+    """
+
+    #: Effective selection bandwidth (bytes/s) — one streaming pass.
+    _SELECTION_BANDWIDTH = 200e9
+
+    def __init__(self, inner, keep_fraction: float = 0.01):
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep fraction must be in (0, 1]")
+        self.inner = inner
+        self.keep_fraction = keep_fraction
+        self.name = f"{inner.name} + top-{keep_fraction:.0%} sparsification"
+
+    def cost(self, gradient_bytes: float, cluster) -> CompressedCost:
+        """Inner exchange at the sparsified volume plus the selection pass."""
+        # Values (4B) + indices (4B) per kept element.
+        transported = gradient_bytes * self.keep_fraction * 2.0
+        base = self.inner.cost(transported, cluster)
+        selection = gradient_bytes / self._SELECTION_BANDWIDTH
+        return CompressedCost(
+            intra_machine_s=base.intra_machine_s,
+            inter_machine_s=base.inter_machine_s,
+            aggregation_s=base.aggregation_s,
+            compression_s=selection,
+        )

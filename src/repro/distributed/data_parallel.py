@@ -1,0 +1,105 @@
+"""Synchronous data-parallel training over a simulated cluster.
+
+Each of the cluster's GPUs trains a full model replica on its own
+``per_gpu_batch`` slice (Section 2.2); after the backward pass, gradients
+are exchanged through the configured mechanism (parameter server by
+default, matching MXNet's kvstore).  Frameworks overlap part of the
+exchange with the backward pass — per-layer gradients are pushed as they
+become ready — captured by ``COMM_OVERLAP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.parameter_server import ParameterServerExchange
+from repro.hardware.cluster import ClusterSpec
+from repro.training.session import TrainingSession
+
+#: Fraction of exchange time hidden behind the backward pass (layer-wise
+#: push while upstream layers still compute).
+COMM_OVERLAP = 0.3
+
+
+@dataclass(frozen=True)
+class DistributedProfile:
+    """One distributed training iteration's resolved performance."""
+
+    model: str
+    framework: str
+    configuration: str
+    per_gpu_batch: int
+    worker_count: int
+    compute_time_s: float
+    exchange_time_s: float
+    exposed_exchange_s: float
+    iteration_time_s: float
+    samples_per_iteration: float
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate samples/second across all workers."""
+        return self.samples_per_iteration / self.iteration_time_s
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Throughput relative to `worker_count x` the single-worker rate."""
+        single = (self.samples_per_iteration / self.worker_count) / (
+            self.compute_time_s
+        )
+        ideal = single * self.worker_count
+        return self.throughput / ideal if ideal > 0 else 0.0
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of the iteration spent in exposed communication."""
+        return self.exposed_exchange_s / self.iteration_time_s
+
+
+class DataParallelTrainer:
+    """Simulates synchronous data-parallel training of one model."""
+
+    def __init__(
+        self,
+        model: str,
+        framework: str,
+        cluster: ClusterSpec,
+        exchange=None,
+    ):
+        self.cluster = cluster
+        self.exchange = exchange if exchange is not None else ParameterServerExchange()
+        self.session = TrainingSession(
+            model, framework, gpu=cluster.machine.gpu, cpu=cluster.machine.cpu
+        )
+
+    def run_iteration(self, per_gpu_batch: int) -> DistributedProfile:
+        """Simulate one synchronous iteration at ``per_gpu_batch`` per GPU.
+
+        Raises:
+            OutOfMemoryError: if a single replica does not fit its GPU.
+        """
+        workers = max(1, self.cluster.total_gpus)
+        local = self.session.run_iteration(per_gpu_batch)
+        graph = self.session.spec.build(per_gpu_batch)
+        gradient_bytes = graph.total_weight_bytes
+
+        cost = self.exchange.cost(gradient_bytes, self.cluster)
+        exchange_time = cost.total_s if workers > 1 else 0.0
+        exposed = exchange_time * (1.0 - COMM_OVERLAP)
+        iteration = local.iteration_time_s + exposed
+        return DistributedProfile(
+            model=self.session.spec.display_name,
+            framework=self.session.framework.name,
+            configuration=self.cluster.name,
+            per_gpu_batch=per_gpu_batch,
+            worker_count=workers,
+            compute_time_s=local.iteration_time_s,
+            exchange_time_s=exchange_time,
+            exposed_exchange_s=exposed,
+            iteration_time_s=iteration,
+            samples_per_iteration=local.effective_samples * workers,
+        )
+
+    def sweep(self, per_gpu_batches) -> list:
+        """Profile several per-GPU batch sizes (Fig. 10's x-axis)."""
+        return [self.run_iteration(batch) for batch in per_gpu_batches]

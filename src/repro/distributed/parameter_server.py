@@ -1,0 +1,83 @@
+"""Parameter-server gradient exchange (Li et al., OSDI'14; the kvstore
+mechanism MXNet uses in the paper's Fig. 10 experiments).
+
+Cost model for one synchronous iteration:
+
+- **Intra-machine** (``g`` GPUs -> host PS): every GPU pushes its full
+  gradient over its PCIe link and pulls updated weights back; the host
+  aggregates ``g`` gradient copies at memory bandwidth.  PCIe links are
+  per-GPU (x16 slots), so pushes proceed in parallel.
+- **Inter-machine** (``m`` machines, server shards co-located with
+  workers): each machine holds ``1/m`` of the parameters; a machine sends
+  the other shards' portions (``(m-1)/m`` of the gradient) and receives its
+  own shard's contributions, then the mirror transfer returns updated
+  weights.  TCP on Ethernet runs far below line rate under the resulting
+  incast (efficiency ~0.35); RDMA on InfiniBand sustains ~0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+
+#: Effective efficiency of kvstore-style TCP transfers under incast.
+_TCP_PS_EFFICIENCY = 0.5
+#: Host memory bandwidth share usable for gradient aggregation.
+_AGGREGATION_BW_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ExchangeCost:
+    """Resolved communication cost of one synchronous exchange."""
+
+    intra_machine_s: float
+    inter_machine_s: float
+    aggregation_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.intra_machine_s + self.inter_machine_s + self.aggregation_s
+
+
+class ParameterServerExchange:
+    """Synchronous parameter-server exchange over a cluster."""
+
+    name = "parameter server"
+
+    def cost(self, gradient_bytes: float, cluster: ClusterSpec) -> ExchangeCost:
+        """Cost of one push+pull cycle for ``gradient_bytes`` per worker."""
+        if gradient_bytes < 0:
+            raise ValueError("gradient bytes cannot be negative")
+        machine = cluster.machine
+        gpus = machine.gpu_count
+
+        intra = 0.0
+        aggregation = 0.0
+        if gpus >= 1:
+            # Push + pull per GPU over its own PCIe link (parallel slots).
+            intra = 2.0 * machine.intra_link.transfer_time(gradient_bytes)
+            # The host reduces `gpus` gradient copies at memory bandwidth.
+            host_bw = (
+                machine.cpu.memory_bandwidth_gbs * 1e9 * _AGGREGATION_BW_FRACTION
+            )
+            aggregation = gpus * gradient_bytes / host_bw
+
+        inter = 0.0
+        if cluster.is_distributed:
+            machines = cluster.machine_count
+            link = cluster.inter_link
+            share = gradient_bytes * (machines - 1) / machines
+            efficiency = 1.0
+            if "ethernet" in link.name.lower() or "gbe" in link.name.lower():
+                efficiency = _TCP_PS_EFFICIENCY
+            # Push phase + pull phase, full duplex within each phase.
+            per_phase = link.latency_s + share / (
+                link.effective_bandwidth_bytes * efficiency
+            )
+            inter = 2.0 * per_phase
+        return ExchangeCost(
+            intra_machine_s=intra,
+            inter_machine_s=inter,
+            aggregation_s=aggregation,
+        )

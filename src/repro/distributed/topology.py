@@ -1,0 +1,28 @@
+"""The Fig. 10 cluster configurations."""
+
+from __future__ import annotations
+
+from repro.hardware.cluster import ClusterSpec, parse_configuration
+
+
+def standard_configurations() -> dict:
+    """The five configurations of the paper's Fig. 10, keyed by label."""
+    return {
+        "1M1G": parse_configuration("1M1G"),
+        # The testbed's Ethernet NICs are the commodity 1 GbE management
+        # network — the 100 Gb/s Mellanox cards are the fast fabric — which
+        # is why the paper's 2M1G (ethernet) bar falls *below* 1M1G.
+        "2M1G (ethernet)": parse_configuration("2M1G", fabric="1gbe"),
+        "2M1G (infiniband)": parse_configuration("2M1G", fabric="infiniband"),
+        "1M2G": parse_configuration("1M2G"),
+        "1M4G": parse_configuration("1M4G"),
+    }
+
+
+def configuration(label: str) -> ClusterSpec:
+    """Look up one Fig. 10 configuration by its paper label."""
+    configs = standard_configurations()
+    if label not in configs:
+        known = ", ".join(configs)
+        raise KeyError(f"unknown configuration {label!r}; known: {known}")
+    return configs[label]

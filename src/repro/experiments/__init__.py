@@ -1,0 +1,48 @@
+"""Experiment generators: one module per table and figure of the paper's
+evaluation.  Each module exposes
+
+- ``generate(...)`` — run the experiment and return plain data, and
+- ``render(...)`` — format that data the way the paper prints it.
+
+The benchmark harness (``benchmarks/``) times and prints these; the
+integration tests assert their shapes against the paper's findings.
+"""
+
+from repro.experiments import (
+    fig1_fig3,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2_3,
+    table4,
+    table5_6,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig1_fig3": fig1_fig3,
+    "table2_3": table2_3,
+    "table4": table4,
+    "fig2": fig2,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "table5_6": table5_6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+}
+
+#: Exhibits beyond the paper's evaluation (suite extensions).
+from repro.experiments import extension_yolo  # noqa: E402
+
+EXTENSION_EXPERIMENTS = {"extension_yolo": extension_yolo}
+
+__all__ = ["ALL_EXPERIMENTS", "EXTENSION_EXPERIMENTS"] + list(ALL_EXPERIMENTS)

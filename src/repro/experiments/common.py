@@ -1,0 +1,64 @@
+"""Shared helpers for the mini-batch sweep experiments (Figs. 4-6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.suite import TBDSuite, standard_suite
+
+#: The (model, framework) panels of Figs. 4-6, in the paper's panel order.
+SWEEP_PANELS = (
+    ("resnet-50", ("tensorflow", "mxnet", "cntk")),
+    ("inception-v3", ("mxnet", "tensorflow", "cntk")),
+    ("nmt", ("tensorflow",)),
+    ("sockeye", ("mxnet",)),
+    ("transformer", ("tensorflow",)),
+    ("wgan", ("tensorflow",)),
+    ("deep-speech-2", ("mxnet",)),
+    ("a3c", ("mxnet",)),
+)
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One line of one panel: metric values over the batch sweep."""
+
+    model: str
+    framework: str
+    batch_sizes: tuple
+    values: tuple  # None marks an OOM point
+
+    def finite(self) -> list:
+        """(batch, value) pairs that did not OOM."""
+        return [
+            (batch, value)
+            for batch, value in zip(self.batch_sizes, self.values)
+            if value is not None
+        ]
+
+
+def run_sweeps(metric: str, suite: TBDSuite | None = None) -> list:
+    """Run every Figs. 4-6 panel and extract ``metric`` from each point.
+
+    Args:
+        metric: attribute of :class:`~repro.core.metrics.IterationMetrics`
+            (``throughput``, ``gpu_utilization``, ``fp32_utilization``).
+    """
+    suite = suite if suite is not None else standard_suite()
+    series = []
+    for model, frameworks in SWEEP_PANELS:
+        for framework in frameworks:
+            points = suite.sweep(model, framework)
+            values = tuple(
+                None if point.oom else getattr(point.metrics, metric)
+                for point in points
+            )
+            series.append(
+                SweepSeries(
+                    model=model,
+                    framework=framework,
+                    batch_sizes=tuple(point.batch_size for point in points),
+                    values=values,
+                )
+            )
+    return series

@@ -1,0 +1,77 @@
+"""Fig. 2: model accuracy over training time, five representative models.
+
+The time axis comes from each model's *simulated* stable-phase throughput
+on the single-P4000 configuration (as in the paper); the metric curves come
+from the calibrated convergence models (see
+:mod:`repro.training.convergence` and DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.suite import standard_suite
+from repro.training.convergence import FIG2_MODELS, training_curve
+
+#: (panel, model, framework, batch, training duration shown in the paper).
+PANELS = (
+    ("a", "inception-v3", "mxnet", 32, 25 * 24 * 3600.0),  # ~25 days
+    ("a", "inception-v3", "tensorflow", 32, 25 * 24 * 3600.0),
+    ("a", "inception-v3", "cntk", 32, 25 * 24 * 3600.0),
+    ("b", "resnet-50", "mxnet", 32, 18 * 24 * 3600.0),  # ~18 days
+    ("b", "resnet-50", "tensorflow", 32, 18 * 24 * 3600.0),
+    ("b", "resnet-50", "cntk", 32, 18 * 24 * 3600.0),
+    ("c", "transformer", "tensorflow", 2048, 32 * 3600.0),  # ~32 hours
+    ("d", "nmt", "tensorflow", 128, 5 * 3600.0),  # ~5 hours
+    ("d", "sockeye", "mxnet", 64, 5 * 3600.0),
+    ("e", "a3c", "mxnet", 128, 15 * 3600.0),  # ~15 hours
+)
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    panel: str
+    model: str
+    framework: str
+    metric_name: str
+    times_s: tuple
+    values: tuple
+
+    @property
+    def final_value(self) -> float:
+        return self.values[-1]
+
+
+def generate(suite=None, points: int = 32) -> list:
+    """Run every Fig. 2 panel; returns ConvergenceCurve records."""
+    suite = suite if suite is not None else standard_suite()
+    curves = []
+    for panel, model, framework, batch, duration in PANELS:
+        throughput = suite.run(model, framework, batch).throughput
+        times, values = training_curve(model, throughput, duration, points)
+        curves.append(
+            ConvergenceCurve(
+                panel=panel,
+                model=model,
+                framework=framework,
+                metric_name=FIG2_MODELS[model].metric_name,
+                times_s=tuple(times),
+                values=tuple(values),
+            )
+        )
+    return curves
+
+
+def render(curves=None) -> str:
+    """Format the Fig. 2 curves as quartile listings."""
+    curves = curves if curves is not None else generate()
+    lines = ["Fig. 2: model accuracy during training"]
+    for curve in curves:
+        hours = curve.times_s[-1] / 3600.0
+        quarters = [curve.values[i] for i in (0, 8, 16, 24, -1)]
+        trail = "  ".join(f"{v:7.2f}" for v in quarters)
+        lines.append(
+            f"({curve.panel}) {curve.model:13s} {curve.framework:11s} "
+            f"{curve.metric_name:20s} over {hours:7.1f} h: {trail}"
+        )
+    return "\n".join(lines)

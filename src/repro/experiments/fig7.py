@@ -1,0 +1,50 @@
+"""Fig. 7: average CPU utilization across all 14 model/framework pairs."""
+
+from __future__ import annotations
+
+from repro.core.report import render_bar_chart
+from repro.core.suite import standard_suite
+
+#: Fig. 7 bar order, with the paper's measured value for reference.
+PAIRS = (
+    ("resnet-50", "mxnet", 5.21),
+    ("resnet-50", "tensorflow", 5.58),
+    ("resnet-50", "cntk", 0.08),
+    ("inception-v3", "mxnet", 5.20),
+    ("inception-v3", "tensorflow", 8.01),
+    ("inception-v3", "cntk", 0.05),
+    ("nmt", "tensorflow", 5.30),
+    ("sockeye", "mxnet", 6.10),
+    ("transformer", "tensorflow", 1.68),
+    ("faster-rcnn", "mxnet", 3.64),
+    ("faster-rcnn", "tensorflow", 13.25),
+    ("wgan", "tensorflow", 1.78),
+    ("deep-speech-2", "mxnet", 4.35),
+    ("a3c", "mxnet", 28.75),
+)
+
+
+def generate(suite=None) -> list:
+    """(label, measured %, paper %) for every Fig. 7 bar."""
+    suite = suite if suite is not None else standard_suite()
+    results = []
+    for model, framework, paper_value in PAIRS:
+        metrics = suite.run(model, framework)
+        results.append(
+            (
+                f"{metrics.model} ({metrics.framework})",
+                metrics.cpu_utilization * 100.0,
+                paper_value,
+            )
+        )
+    return results
+
+
+def render(data=None) -> str:
+    """Render the Fig. 7 bars as an ASCII chart with paper values."""
+    data = data if data is not None else generate()
+    labels = [f"{label}  (paper {paper:.2f}%)" for label, _, paper in data]
+    values = [measured for _, measured, _ in data]
+    return render_bar_chart(
+        "Fig. 7: average CPU utilization", labels, values, unit="%"
+    )

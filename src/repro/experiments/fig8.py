@@ -1,0 +1,79 @@
+"""Fig. 8: Quadro P4000 vs. Titan Xp — throughput (normalized to P4000),
+GPU compute utilization, and FP32 utilization, for the paper's six
+hardware-sensitivity configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.suite import TBDSuite, standard_suite
+from repro.hardware.devices import TITAN_XP
+
+#: The configurations of Fig. 8, grouped as the paper panels them.
+CONFIGS = (
+    ("mxnet", "resnet-50", 32),
+    ("mxnet", "inception-v3", 32),
+    ("mxnet", "sockeye", 64),
+    ("tensorflow", "resnet-50", 32),
+    ("tensorflow", "inception-v3", 32),
+    ("tensorflow", "nmt", 128),
+)
+
+
+@dataclass(frozen=True)
+class HardwareComparison:
+    framework: str
+    model: str
+    batch_size: int
+    p4000_throughput: float
+    titan_throughput: float
+    p4000_gpu_utilization: float
+    titan_gpu_utilization: float
+    p4000_fp32_utilization: float
+    titan_fp32_utilization: float
+
+    @property
+    def normalized_throughput(self) -> float:
+        """Titan Xp over P4000 (the paper's panels a/b)."""
+        return self.titan_throughput / self.p4000_throughput
+
+
+def generate(p4000_suite=None) -> list:
+    """Run all six hardware-sensitivity configurations."""
+    p4 = p4000_suite if p4000_suite is not None else standard_suite()
+    xp = TBDSuite(gpu=TITAN_XP)
+    comparisons = []
+    for framework, model, batch in CONFIGS:
+        a = p4.run(model, framework, batch)
+        b = xp.run(model, framework, batch)
+        comparisons.append(
+            HardwareComparison(
+                framework=framework,
+                model=model,
+                batch_size=batch,
+                p4000_throughput=a.throughput,
+                titan_throughput=b.throughput,
+                p4000_gpu_utilization=a.gpu_utilization,
+                titan_gpu_utilization=b.gpu_utilization,
+                p4000_fp32_utilization=a.fp32_utilization,
+                titan_fp32_utilization=b.fp32_utilization,
+            )
+        )
+    return comparisons
+
+
+def render(data=None) -> str:
+    """Format the Fig. 8 comparisons as aligned text."""
+    data = data if data is not None else generate()
+    lines = ["Fig. 8: Titan Xp vs Quadro P4000"]
+    for c in data:
+        lines.append(
+            f"{c.model:13s} ({c.framework:11s}, b={c.batch_size:<4d}) "
+            f"throughput x{c.normalized_throughput:4.2f} "
+            f"(XP {c.titan_throughput:7.1f} vs P4 {c.p4000_throughput:7.1f})  "
+            f"gpu {c.p4000_gpu_utilization * 100:3.0f}%->"
+            f"{c.titan_gpu_utilization * 100:3.0f}%  "
+            f"fp32 {c.p4000_fp32_utilization * 100:3.0f}%->"
+            f"{c.titan_fp32_utilization * 100:3.0f}%"
+        )
+    return "\n".join(lines)

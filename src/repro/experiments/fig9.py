@@ -1,0 +1,42 @@
+"""Fig. 9: GPU memory-usage breakdown (five classes) per model, framework
+and mini-batch size."""
+
+from __future__ import annotations
+
+from repro.core.report import render_stacked_memory
+from repro.profiling.memory_profiler import MemoryProfiler
+
+#: Fig. 9 panels: (model, framework, batch sizes shown in the paper).
+PANELS = (
+    ("resnet-50", "mxnet", (8, 16, 32)),
+    ("resnet-50", "tensorflow", (8, 16, 32)),
+    ("resnet-50", "cntk", (16, 32, 64)),
+    ("wgan", "tensorflow", (16, 32, 64)),
+    ("inception-v3", "mxnet", (8, 16, 32)),
+    ("inception-v3", "tensorflow", (8, 16, 32)),
+    ("inception-v3", "cntk", (16, 32, 64)),
+    ("deep-speech-2", "mxnet", (1, 2, 3, 4)),
+    ("sockeye", "mxnet", (16, 32, 64)),
+    ("nmt", "tensorflow", (32, 64, 128)),
+    ("transformer", "tensorflow", (512, 1024, 2048)),
+    ("a3c", "mxnet", (32, 64, 128)),
+    ("faster-rcnn", "mxnet", (1,)),
+    ("faster-rcnn", "tensorflow", (1,)),
+)
+
+
+def generate(gpu=None) -> list:
+    """All Fig. 9 memory profiles, in panel order."""
+    profiler = MemoryProfiler(gpu=gpu)
+    profiles = []
+    for model, framework, batches in PANELS:
+        profiles.extend(profiler.sweep(model, framework, batches))
+    return profiles
+
+
+def render(profiles=None) -> str:
+    """Format the Fig. 9 breakdowns as a stacked-memory listing."""
+    profiles = profiles if profiles is not None else generate()
+    return render_stacked_memory(
+        "Fig. 9: GPU memory usage breakdown (peak GiB per class)", profiles
+    )

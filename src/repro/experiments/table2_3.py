@@ -1,0 +1,59 @@
+"""Tables 2 and 3: the benchmark-suite and dataset overviews, generated
+from the live registries (so the tables can never drift from the code)."""
+
+from __future__ import annotations
+
+from repro.core.report import render_table
+from repro.data.registry import dataset_catalog
+from repro.frameworks.registry import get_framework
+from repro.models.registry import model_catalog
+
+
+def generate_table2() -> list:
+    """Rows of Table 2: (application, model, layers, dominant layer,
+    frameworks, dataset)."""
+    rows = []
+    for spec in model_catalog().values():
+        frameworks = ", ".join(
+            get_framework(key).name for key in spec.frameworks
+        )
+        rows.append(
+            (
+                spec.application,
+                spec.display_name,
+                spec.paper_layer_count,
+                spec.dominant_layer,
+                frameworks,
+                spec.dataset,
+            )
+        )
+    return rows
+
+
+def generate_table3() -> list:
+    """Rows of Table 3: (dataset, number of samples, size, special)."""
+    rows = []
+    for dataset in dataset_catalog().values():
+        samples = f"{dataset.num_samples:,}" if dataset.num_samples else "N/A"
+        rows.append((dataset.name, samples, dataset.size_description, dataset.special))
+    return rows
+
+
+def generate() -> dict:
+    """Generate both tables; returns {'table2': rows, 'table3': rows}."""
+    return {"table2": generate_table2(), "table3": generate_table3()}
+
+
+def render() -> str:
+    """Render Tables 2 and 3 as monospace tables."""
+    table2 = render_table(
+        headers=("Application", "Model", "Layers", "Dominant", "Frameworks", "Dataset"),
+        rows=generate_table2(),
+        title="Table 2: Overview of Benchmarks",
+    )
+    table3 = render_table(
+        headers=("Dataset", "Samples", "Size", "Special"),
+        rows=generate_table3(),
+        title="Table 3: Training Datasets",
+    )
+    return f"{table2}\n\n{table3}"

@@ -1,0 +1,42 @@
+"""Table 4: hardware specifications, from the device catalog."""
+
+from __future__ import annotations
+
+from repro.core.report import render_table
+from repro.hardware.devices import QUADRO_P4000, TITAN_XP, XEON_E5_2680
+
+
+def generate() -> list:
+    """(attribute, Titan Xp, Quadro P4000, Xeon E5-2680) rows."""
+    xp, p4, cpu = TITAN_XP, QUADRO_P4000, XEON_E5_2680
+    return [
+        ("Multiprocessors", xp.multiprocessors, p4.multiprocessors, ""),
+        ("Core Count", xp.core_count, p4.core_count, cpu.core_count),
+        ("Max Clock Rate (MHz)", xp.max_clock_mhz, p4.max_clock_mhz, cpu.max_clock_mhz),
+        ("Memory Size (GB)", xp.memory_gb, p4.memory_gb, cpu.memory_gb),
+        ("LLC Size (MB)", xp.llc_mb, p4.llc_mb, cpu.llc_mb),
+        ("Memory Bus Type", xp.memory_bus, p4.memory_bus, cpu.memory_bus),
+        (
+            "Memory BW (GB/s)",
+            xp.memory_bandwidth_gbs,
+            p4.memory_bandwidth_gbs,
+            cpu.memory_bandwidth_gbs,
+        ),
+        ("Bus Interface", xp.bus_interface, p4.bus_interface, ""),
+        ("Memory Speed (MHz)", xp.memory_speed_mhz, p4.memory_speed_mhz, cpu.memory_speed_mhz),
+        (
+            "Peak FP32 (TFLOP/s, derived)",
+            round(xp.peak_fp32_flops / 1e12, 2),
+            round(p4.peak_fp32_flops / 1e12, 2),
+            "",
+        ),
+    ]
+
+
+def render() -> str:
+    """Render Table 4 as a monospace table."""
+    return render_table(
+        headers=("", "Titan Xp", "Quadro P4000", "Intel Xeon E5-2680"),
+        rows=generate(),
+        title="Table 4: Hardware specifications",
+    )

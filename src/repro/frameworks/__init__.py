@@ -1,0 +1,29 @@
+"""Framework execution personalities.
+
+The paper runs every model on up to three frameworks — TensorFlow v1.3,
+MXNet v0.11.0, CNTK v2.0 — and finds that framework-specific design choices
+(kernel dispatch cost, memory allocator slack, workspace policy, when
+optimizer state is allocated, which library kernels get picked) change both
+throughput and memory footprint.  :class:`~repro.frameworks.base.Framework`
+encodes exactly those choices; the three concrete personalities are
+calibrated to reproduce the paper's cross-framework ordering.
+"""
+
+from repro.frameworks.base import Framework, MomentumAllocation
+from repro.frameworks.registry import (
+    CNTK,
+    MXNET,
+    TENSORFLOW,
+    framework_catalog,
+    get_framework,
+)
+
+__all__ = [
+    "Framework",
+    "MomentumAllocation",
+    "TENSORFLOW",
+    "MXNET",
+    "CNTK",
+    "get_framework",
+    "framework_catalog",
+]

@@ -1,0 +1,14 @@
+"""Layer-graph intermediate representation.
+
+Models (:mod:`repro.models`) are expressed as ordered :class:`Layer` lists;
+each layer carries its parameter count, the feature-map elements it must
+stash for the backward pass, its conv workspace demand, and the forward /
+backward / update kernel sequences it lowers to.  The training session
+(:mod:`repro.training`) executes those kernel sequences on a simulated
+device.
+"""
+
+from repro.graph.layer import Layer, LayerGraph
+from repro.graph import lowering
+
+__all__ = ["Layer", "LayerGraph", "lowering"]

@@ -1,0 +1,118 @@
+"""Graph linting: structural well-formedness checks for layer graphs.
+
+Model definitions are data; like any data they rot.  ``lint_graph`` runs
+every invariant a valid training graph must satisfy and returns the
+violations — the model tests run it over the whole zoo (including
+extensions) at several batch sizes, so a malformed layer can never ship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.layer import LayerGraph
+
+_RECURRENT_KINDS = ("lstm", "gru", "rnn")
+_REQUIRED_RECURRENT_ATTRS = (
+    "batch",
+    "seq_len",
+    "input_size",
+    "hidden",
+    "gates",
+    "directions",
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One violated invariant."""
+
+    layer: str
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.layer}: {self.rule} ({self.detail})"
+
+
+def lint_graph(graph: LayerGraph) -> list:
+    """Check every structural invariant; returns the findings (empty = ok)."""
+    findings: list = []
+
+    if graph.layer_count == 0:
+        findings.append(LintFinding("<graph>", "empty graph", graph.model_name))
+    if graph.iteration_flops() <= 0:
+        findings.append(
+            LintFinding("<graph>", "no computation", "iteration FLOPs are zero")
+        )
+    if graph.input_bytes < 0:
+        findings.append(LintFinding("<graph>", "negative input bytes", ""))
+    if graph.feature_map_overallocation < 1.0:
+        findings.append(
+            LintFinding(
+                "<graph>",
+                "over-allocation below 1",
+                str(graph.feature_map_overallocation),
+            )
+        )
+
+    trainable_layers = 0
+    for layer in graph.layers:
+        if layer.weight_elements > 0:
+            trainable_layers += 1
+        if not layer.forward_kernels and not layer.inplace and layer.flops == 0:
+            # A layer with no kernels must at least carry stash (pure
+            # buffer layers like reorg are allowed kernels though).
+            if layer.output_elements == 0:
+                findings.append(
+                    LintFinding(layer.name, "inert layer", "no kernels, no stash")
+                )
+        if layer.weight_elements > 0 and not layer.backward_kernels:
+            findings.append(
+                LintFinding(
+                    layer.name,
+                    "untrainable weights",
+                    f"{layer.weight_elements} weights but no backward kernels",
+                )
+            )
+        for kernel in list(layer.forward_kernels) + list(layer.backward_kernels):
+            if kernel.flops < 0 or kernel.bytes_accessed < 0:
+                findings.append(
+                    LintFinding(layer.name, "negative kernel work", kernel.name)
+                )
+            if kernel.flops == 0 and kernel.bytes_accessed == 0:
+                findings.append(
+                    LintFinding(layer.name, "empty kernel", kernel.name)
+                )
+        if layer.kind in _RECURRENT_KINDS:
+            missing = [
+                key for key in _REQUIRED_RECURRENT_ATTRS if key not in layer.attributes
+            ]
+            if missing:
+                findings.append(
+                    LintFinding(
+                        layer.name, "missing recurrent geometry", str(missing)
+                    )
+                )
+            elif layer.attributes["batch"] != graph.batch_size and graph.samples_per_iteration is None:
+                findings.append(
+                    LintFinding(
+                        layer.name,
+                        "batch mismatch",
+                        f"layer batch {layer.attributes['batch']} vs graph "
+                        f"{graph.batch_size}",
+                    )
+                )
+    if trainable_layers == 0:
+        findings.append(
+            LintFinding("<graph>", "no trainable layers", graph.model_name)
+        )
+    return findings
+
+
+def assert_valid(graph: LayerGraph) -> None:
+    """Raise ``ValueError`` listing every lint finding, if any."""
+    findings = lint_graph(graph)
+    if findings:
+        details = "; ".join(str(finding) for finding in findings)
+        raise ValueError(f"invalid graph {graph.model_name!r}: {details}")

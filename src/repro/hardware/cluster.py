@@ -1,0 +1,106 @@
+"""Machine and cluster topology descriptions.
+
+The paper's testbed: a 16-machine cluster, each node a 28-core Xeon with one
+to four Quadro P4000 GPUs, connected by both Ethernet and 100 Gb/s
+InfiniBand.  Configurations in Fig. 10 are named ``<m>M<g>G`` (machines x
+GPUs-per-machine), e.g. ``2M1G (ethernet)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.hardware.devices import CPUSpec, GPUSpec, QUADRO_P4000, XEON_E5_2680
+from repro.hardware.interconnect import (
+    ETHERNET_10G,
+    INFINIBAND_100G,
+    Interconnect,
+    PCIE_3_X16,
+    get_interconnect,
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One cluster node: a CPU host plus ``gpu_count`` identical GPUs behind
+    an intra-machine link (PCIe)."""
+
+    cpu: CPUSpec = XEON_E5_2680
+    gpu: GPUSpec = QUADRO_P4000
+    gpu_count: int = 1
+    intra_link: Interconnect = PCIE_3_X16
+
+    def __post_init__(self) -> None:
+        if self.gpu_count < 0:
+            raise ValueError("gpu_count cannot be negative")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.gpu_count
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of :class:`MachineSpec` nodes joined by one
+    inter-machine fabric."""
+
+    machine: MachineSpec = MachineSpec()
+    machine_count: int = 1
+    inter_link: Interconnect = INFINIBAND_100G
+
+    def __post_init__(self) -> None:
+        if self.machine_count <= 0:
+            raise ValueError("machine_count must be positive")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.machine_count * self.machine.gpu_count
+
+    @property
+    def is_distributed(self) -> bool:
+        return self.machine_count > 1
+
+    @property
+    def name(self) -> str:
+        """Paper-style configuration label, e.g. ``2M1G (10GbE)``."""
+        label = f"{self.machine_count}M{self.machine.gpu_count}G"
+        if self.is_distributed:
+            label += f" ({self.inter_link.name})"
+        return label
+
+
+_CONFIG_RE = re.compile(r"^(\d+)M(\d+)G$", re.IGNORECASE)
+
+
+def parse_configuration(
+    spec: str,
+    fabric: str = "infiniband",
+    gpu: GPUSpec = QUADRO_P4000,
+    cpu: CPUSpec = XEON_E5_2680,
+) -> ClusterSpec:
+    """Build a :class:`ClusterSpec` from a paper-style label.
+
+    >>> parse_configuration("1M4G").total_gpus
+    4
+    >>> parse_configuration("2M1G", fabric="ethernet").inter_link.name
+    '10GbE'
+    """
+    match = _CONFIG_RE.match(spec.strip())
+    if not match:
+        raise ValueError(
+            f"bad configuration {spec!r}; expected '<machines>M<gpus>G' "
+            "like '1M4G' or '2M1G'"
+        )
+    machines, gpus = int(match.group(1)), int(match.group(2))
+    if machines <= 0 or gpus <= 0:
+        raise ValueError(f"configuration {spec!r} needs positive counts")
+    machine = MachineSpec(cpu=cpu, gpu=gpu, gpu_count=gpus)
+    link = get_interconnect(fabric) if machines > 1 else ETHERNET_10G
+    return ClusterSpec(machine=machine, machine_count=machines, inter_link=link)
+
+
+#: The paper's full testbed.
+PAPER_TESTBED = ClusterSpec(
+    machine=MachineSpec(gpu_count=4), machine_count=16, inter_link=INFINIBAND_100G
+)

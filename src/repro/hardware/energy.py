@@ -1,0 +1,108 @@
+"""Energy and efficiency modelling.
+
+The paper motivates its hardware-sensitivity study with "different GPU
+models provide a tradeoff between cost, performance, area and power"
+(Section 4.1) but evaluates performance only.  This module supplies the
+power axis: a utilization-scaled board-power model,
+
+    P = idle + (tdp - idle) x gpu_utilization
+
+integrated over iteration time to give energy per iteration, samples per
+joule, and — combined with the convergence curves — energy-to-accuracy.
+TDPs are the boards' published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.devices import GPUSpec
+
+#: Published board TDPs (watts).
+TDP_WATTS = {
+    "Quadro P4000": 105.0,
+    "TITAN Xp": 250.0,
+    "GeForce GTX 580": 244.0,
+}
+
+#: Idle draw as a fraction of TDP (Pascal boards idle at ~10-15%).
+_IDLE_FRACTION = 0.12
+
+#: Host-side power charged to the run (CPU + memory + NIC share), watts.
+HOST_POWER_WATTS = 120.0
+
+
+def tdp_of(gpu: GPUSpec) -> float:
+    """Board TDP in watts.
+
+    Raises:
+        KeyError: for devices without a published TDP in the table.
+    """
+    if gpu.name not in TDP_WATTS:
+        known = ", ".join(sorted(TDP_WATTS))
+        raise KeyError(f"no TDP on record for {gpu.name!r}; known: {known}")
+    return TDP_WATTS[gpu.name]
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Energy accounting for one training configuration."""
+
+    model: str
+    device: str
+    batch_size: int
+    gpu_power_watts: float
+    total_power_watts: float
+    energy_per_iteration_j: float
+    samples_per_joule: float
+    throughput: float
+
+    @property
+    def joules_per_sample(self) -> float:
+        return 1.0 / self.samples_per_joule if self.samples_per_joule else float("inf")
+
+
+def energy_profile(profile, gpu: GPUSpec, include_host: bool = True) -> EnergyProfile:
+    """Derive energy metrics from an
+    :class:`~repro.training.session.IterationProfile`.
+
+    The GPU draws idle power for the whole iteration and the active delta
+    only while busy (utilization-scaled); host power is constant.
+    """
+    tdp = tdp_of(gpu)
+    idle = _IDLE_FRACTION * tdp
+    gpu_power = idle + (tdp - idle) * profile.gpu_utilization
+    total_power = gpu_power + (HOST_POWER_WATTS if include_host else 0.0)
+    energy = total_power * profile.iteration_time_s
+    return EnergyProfile(
+        model=profile.model,
+        device=gpu.name,
+        batch_size=profile.batch_size,
+        gpu_power_watts=gpu_power,
+        total_power_watts=total_power,
+        energy_per_iteration_j=energy,
+        samples_per_joule=profile.effective_samples / energy,
+        throughput=profile.throughput,
+    )
+
+
+def energy_to_accuracy_j(
+    model_key: str, energy: EnergyProfile, target: float
+) -> float:
+    """Joules to reach ``target`` on the model's convergence curve."""
+    from repro.training.convergence import time_to_metric
+
+    seconds = time_to_metric(model_key, energy.throughput, target)
+    return seconds * energy.total_power_watts
+
+
+def perf_per_watt_comparison(model: str, framework: str, batch: int, devices) -> list:
+    """Samples/joule for one configuration across several devices —
+    the missing column of the paper's Fig. 8."""
+    from repro.training.session import TrainingSession
+
+    results = []
+    for gpu in devices:
+        profile = TrainingSession(model, framework, gpu=gpu).run_iteration(batch)
+        results.append(energy_profile(profile, gpu))
+    return results

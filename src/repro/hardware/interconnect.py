@@ -1,0 +1,92 @@
+"""Interconnect models: PCIe, Ethernet, InfiniBand, NVLink.
+
+A transfer of ``n`` bytes over a link costs ``latency + n / bandwidth``.
+``efficiency`` discounts protocol overhead (TCP/IP on Ethernet is far less
+efficient than RDMA on InfiniBand — the other half of the paper's Fig. 10
+cliff between the two-machine Ethernet and InfiniBand configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A point-to-point communication link."""
+
+    name: str
+    bandwidth_gbs: float  # GB/s, raw signalling rate
+    latency_s: float
+    efficiency: float = 0.9  # achievable fraction of raw bandwidth
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @property
+    def effective_bandwidth_bytes(self) -> float:
+        return self.bandwidth_gbs * 1e9 * self.efficiency
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` across the link."""
+        if num_bytes < 0:
+            raise ValueError("byte count cannot be negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes / self.effective_bandwidth_bytes
+
+
+#: PCIe 3.0 x16: 16 GB/s nominal, ~12.8 GB/s achievable; intra-machine
+#: GPU-to-GPU traffic goes through this (paper: "PCIe 3.0 gives enough
+#: bandwidth (16 GB/s)").
+PCIE_3_X16 = Interconnect(
+    name="PCIe 3.0 x16", bandwidth_gbs=16.0, latency_s=5e-6, efficiency=0.80
+)
+
+#: Commodity gigabit Ethernet.
+ETHERNET_1G = Interconnect(
+    name="1GbE", bandwidth_gbs=0.125, latency_s=50e-6, efficiency=0.70
+)
+
+#: Datacenter 10-gigabit Ethernet (the paper's "ethernet" configuration).
+ETHERNET_10G = Interconnect(
+    name="10GbE", bandwidth_gbs=1.25, latency_s=30e-6, efficiency=0.70
+)
+
+#: 100 Gb/s Mellanox InfiniBand (the paper's fast fabric).
+INFINIBAND_100G = Interconnect(
+    name="InfiniBand 100Gb", bandwidth_gbs=12.5, latency_s=2e-6, efficiency=0.90
+)
+
+#: First-generation NVLink, for the what-if analysis example.
+NVLINK_1 = Interconnect(
+    name="NVLink 1.0", bandwidth_gbs=40.0, latency_s=2e-6, efficiency=0.85
+)
+
+_CATALOG = {
+    "pcie": PCIE_3_X16,
+    "pcie3": PCIE_3_X16,
+    "pcie 3.0 x16": PCIE_3_X16,
+    "ethernet": ETHERNET_10G,
+    "10gbe": ETHERNET_10G,
+    "1gbe": ETHERNET_1G,
+    "infiniband": INFINIBAND_100G,
+    "infiniband 100gb": INFINIBAND_100G,
+    "ib": INFINIBAND_100G,
+    "nvlink": NVLINK_1,
+    "nvlink 1.0": NVLINK_1,
+}
+
+
+def get_interconnect(name: str) -> Interconnect:
+    """Look up an interconnect by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _CATALOG:
+        known = ", ".join(sorted(set(i.name for i in _CATALOG.values())))
+        raise KeyError(f"unknown interconnect {name!r}; known: {known}")
+    return _CATALOG[key]

@@ -1,0 +1,138 @@
+"""GPU memory allocator with the paper's five-way allocation tagging.
+
+The paper's memory profilers (Section 3.4.3) classify every allocation as
+one of: **weights**, **weight gradients**, **feature maps**, **workspace**,
+or **dynamic** (data structures a framework allocates *during* iterations,
+e.g. MXNet's momentum buffers).  Consumption is reported as the maximum
+amount ever allocated per class.  This module implements exactly that
+accounting, plus capacity enforcement so that over-large mini-batches fail
+with an out-of-memory error just as they do on a real 8 GB card.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AllocationTag(enum.Enum):
+    """The five data-structure classes of the paper's memory breakdown."""
+
+    WEIGHTS = "weights"
+    WEIGHT_GRADIENTS = "weight gradients"
+    FEATURE_MAPS = "feature maps"
+    WORKSPACE = "workspace"
+    DYNAMIC = "dynamic"
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds the device's memory capacity."""
+
+
+@dataclass
+class Allocation:
+    """One live allocation."""
+
+    handle: int
+    num_bytes: float
+    tag: AllocationTag
+    label: str = ""
+
+
+@dataclass
+class MemorySnapshot:
+    """Peak bytes per allocation class (what Fig. 9 plots)."""
+
+    peak_by_tag: dict
+    peak_total: float
+
+    def fraction(self, tag: AllocationTag) -> float:
+        """Peak share of one class relative to the sum of class peaks."""
+        total = sum(self.peak_by_tag.values())
+        if total <= 0:
+            return 0.0
+        return self.peak_by_tag.get(tag, 0.0) / total
+
+    @property
+    def feature_map_fraction(self) -> float:
+        """Convenience accessor for the paper's headline number (Obs. 11)."""
+        return self.fraction(AllocationTag.FEATURE_MAPS)
+
+
+class GPUMemoryAllocator:
+    """Capacity-checked allocator with per-tag peak tracking.
+
+    ``pool_overhead`` models a framework's allocator slack (pool rounding,
+    fragmentation): each request is charged ``bytes * pool_overhead`` against
+    device capacity.  TensorFlow's BFC allocator is tighter than MXNet's
+    pooled allocator, which is one mechanism behind the paper's note that
+    TensorFlow fits mini-batch 128 for Seq2Seq where MXNet tops out at 64.
+    """
+
+    def __init__(self, capacity_bytes: float, pool_overhead: float = 1.0):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if pool_overhead < 1.0:
+            raise ValueError("pool overhead cannot be below 1.0")
+        self.capacity_bytes = float(capacity_bytes)
+        self.pool_overhead = float(pool_overhead)
+        self._allocations: dict = {}
+        self._next_handle = 1
+        self._current_by_tag: dict = {tag: 0.0 for tag in AllocationTag}
+        self._peak_by_tag: dict = {tag: 0.0 for tag in AllocationTag}
+        self._peak_total = 0.0
+
+    @property
+    def allocated_bytes(self) -> float:
+        """Bytes currently charged against capacity (incl. pool overhead)."""
+        return sum(self._current_by_tag.values())
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, num_bytes: float, tag: AllocationTag, label: str = "") -> int:
+        """Reserve ``num_bytes`` (plus pool overhead) or raise
+        :class:`OutOfMemoryError`.  Returns an opaque handle for ``free``."""
+        if num_bytes < 0:
+            raise ValueError("allocation size cannot be negative")
+        charged = num_bytes * self.pool_overhead
+        if self.allocated_bytes + charged > self.capacity_bytes:
+            raise OutOfMemoryError(
+                f"allocating {charged / 1024**2:.1f} MiB ({tag.value}"
+                f"{': ' + label if label else ''}) exceeds capacity: "
+                f"{self.allocated_bytes / 1024**2:.1f} MiB in use of "
+                f"{self.capacity_bytes / 1024**2:.1f} MiB"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = Allocation(handle, charged, tag, label)
+        self._current_by_tag[tag] += charged
+        if self._current_by_tag[tag] > self._peak_by_tag[tag]:
+            self._peak_by_tag[tag] = self._current_by_tag[tag]
+        if self.allocated_bytes > self._peak_total:
+            self._peak_total = self.allocated_bytes
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release a previous allocation."""
+        allocation = self._allocations.pop(handle, None)
+        if allocation is None:
+            raise KeyError(f"unknown or already-freed allocation handle {handle}")
+        self._current_by_tag[allocation.tag] -= allocation.num_bytes
+
+    def current_bytes(self, tag: AllocationTag) -> float:
+        """Live bytes for one class."""
+        return self._current_by_tag[tag]
+
+    def snapshot(self) -> MemorySnapshot:
+        """Peak-per-class snapshot — the quantity the paper's Fig. 9 plots."""
+        return MemorySnapshot(
+            peak_by_tag=dict(self._peak_by_tag), peak_total=self._peak_total
+        )
+
+    def reset_peaks(self) -> None:
+        """Restart peak tracking from the current live state (used after the
+        warm-up phase so auto-tuning probes don't pollute the profile)."""
+        self._peak_by_tag = dict(self._current_by_tag)
+        self._peak_total = self.allocated_bytes

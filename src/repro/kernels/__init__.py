@@ -1,0 +1,40 @@
+"""Kernel catalog: analytic FLOP/byte models of the GPU kernels that DNN
+layers lower to (the cuDNN / cuBLAS / framework-kernel equivalents).
+
+Each factory returns a :class:`~repro.kernels.base.Kernel` carrying the
+kernel's name (matching the naming style seen in nvprof traces, so Tables 5
+and 6 of the paper can be reproduced verbatim), FLOP count, DRAM traffic,
+and efficiency ceiling.
+
+Factories live in the submodules — several share names with their module
+(``gemm.gemm``, ``elementwise.elementwise``), so import the submodules
+rather than star-importing::
+
+    from repro.kernels import gemm, conv, norm
+    kernel = gemm.gemm(1024, 1024, 1024)
+"""
+
+from repro.kernels import (
+    attention,
+    base,
+    conv,
+    elementwise,
+    gemm,
+    misc,
+    norm,
+    rnn,
+)
+from repro.kernels.base import Kernel, KernelCategory
+
+__all__ = [
+    "Kernel",
+    "KernelCategory",
+    "attention",
+    "base",
+    "conv",
+    "elementwise",
+    "gemm",
+    "misc",
+    "norm",
+    "rnn",
+]

@@ -1,0 +1,60 @@
+"""Attention kernels (Transformer).
+
+Scaled dot-product attention lowers to two *large batched* GEMMs
+(scores = Q@K^T, context = softmax(scores)@V) plus a batched softmax.  The
+batched GEMMs are big enough to keep the GPU saturated — the mechanism
+behind the paper's note (Observation 5) that the low-utilization problem is
+specific to the recurrent *layer type*, not to machine translation: the
+Transformer's attention layers do not suffer it.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel, KernelCategory
+from repro.kernels.elementwise import softmax
+from repro.kernels.gemm import batched_gemm
+
+
+def attention_scores(
+    batch_heads: int, seq_q: int, seq_k: int, head_dim: int, backward: bool = False
+) -> Kernel:
+    """Q@K^T (forward) or its gradient GEMMs (backward, ~2x work)."""
+    kernel = batched_gemm(
+        batch_heads,
+        seq_q,
+        seq_k,
+        head_dim,
+        name="attention_scores_batched_gemm" + ("_bw" if backward else ""),
+    )
+    if backward:
+        kernel = kernel.scaled(2.0)
+    return kernel
+
+
+def attention_context(
+    batch_heads: int, seq_q: int, seq_k: int, head_dim: int, backward: bool = False
+) -> Kernel:
+    """softmax(scores)@V (forward) or its gradient GEMMs (backward)."""
+    kernel = batched_gemm(
+        batch_heads,
+        seq_q,
+        head_dim,
+        seq_k,
+        name="attention_context_batched_gemm" + ("_bw" if backward else ""),
+    )
+    if backward:
+        kernel = kernel.scaled(2.0)
+    return kernel
+
+
+def attention_softmax(batch_heads: int, seq_q: int, seq_k: int) -> Kernel:
+    """Row-wise softmax over the score matrix, fused across heads."""
+    base = softmax(batch_heads * seq_q, seq_k)
+    return Kernel(
+        name="attention_softmax_fused",
+        category=KernelCategory.ATTENTION,
+        flops=base.flops,
+        bytes_accessed=base.bytes_accessed,
+        max_compute_efficiency=base.max_compute_efficiency,
+        max_memory_efficiency=base.max_memory_efficiency,
+    )

@@ -1,0 +1,83 @@
+"""Batch-normalization kernels.
+
+These are the stars of the paper's Tables 5 and 6: long-running cuDNN
+kernels (``bn_fw_tr_1C11_kernel_new`` / ``bn_bw_1C11_kernel_new``) with FP32
+utilization 20-45% — far below the model average — because they are
+bandwidth-bound (a handful of FLOPs per element over multiple passes of the
+feature map).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel, KernelCategory, fp32_bytes
+
+#: BN does ~10 FLOPs/element forward but streams the map several times;
+#: its compute ceiling w.r.t. peak FLOP/s is intrinsically low.
+_BN_MAX_COMPUTE_EFF = 0.50
+_BN_MAX_MEMORY_EFF = 0.80
+
+
+def batchnorm_forward(elements: int, channels: int) -> Kernel:
+    """cuDNN training-mode forward batch normalization.
+
+    Two passes over the map (statistics, then normalize) plus per-channel
+    parameter traffic.
+    """
+    if elements <= 0 or channels <= 0:
+        raise ValueError("batchnorm needs positive elements and channels")
+    flops = 10.0 * elements
+    traffic = fp32_bytes(3.0 * elements + 4.0 * channels)
+    return Kernel(
+        name="cudnn::detail::bn_fw_tr_1C11_kernel_new",
+        category=KernelCategory.NORM,
+        flops=flops,
+        bytes_accessed=traffic,
+        max_compute_efficiency=_BN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_BN_MAX_MEMORY_EFF,
+    )
+
+
+def batchnorm_backward(elements: int, channels: int) -> Kernel:
+    """cuDNN backward batch normalization: reads the saved feature map, the
+    incoming gradient, and writes the outgoing gradient — three maps of
+    traffic plus reductions, ~15 FLOPs/element."""
+    if elements <= 0 or channels <= 0:
+        raise ValueError("batchnorm needs positive elements and channels")
+    flops = 15.0 * elements
+    traffic = fp32_bytes(4.0 * elements + 6.0 * channels)
+    return Kernel(
+        name="cudnn::detail::bn_bw_1C11_kernel_new",
+        category=KernelCategory.NORM,
+        flops=flops,
+        bytes_accessed=traffic,
+        max_compute_efficiency=_BN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_BN_MAX_MEMORY_EFF,
+    )
+
+
+def layernorm_forward(elements: int) -> Kernel:
+    """Layer normalization (Transformer); same bandwidth-bound character."""
+    if elements <= 0:
+        raise ValueError("layernorm needs positive elements")
+    return Kernel(
+        name="layer_norm_fwd_kernel",
+        category=KernelCategory.NORM,
+        flops=8.0 * elements,
+        bytes_accessed=fp32_bytes(3.0 * elements),
+        max_compute_efficiency=_BN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_BN_MAX_MEMORY_EFF,
+    )
+
+
+def layernorm_backward(elements: int) -> Kernel:
+    """Backward layer normalization."""
+    if elements <= 0:
+        raise ValueError("layernorm needs positive elements")
+    return Kernel(
+        name="layer_norm_bwd_kernel",
+        category=KernelCategory.NORM,
+        flops=12.0 * elements,
+        bytes_accessed=fp32_bytes(4.0 * elements),
+        max_compute_efficiency=_BN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_BN_MAX_MEMORY_EFF,
+    )

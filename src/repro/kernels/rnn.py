@@ -1,0 +1,74 @@
+"""Recurrent-cell pointwise kernels.
+
+An LSTM step is two GEMMs (input and recurrent projections, emitted via
+:mod:`repro.kernels.gemm` by the lowering pass) plus this pointwise kernel
+that applies the gate nonlinearities and state update.  The defining
+performance property — the reason the paper's Observations 5 and 7 find
+RNN models at 2-3x lower GPU utilization — is that these kernels are *small*
+and there are *hundreds of them per iteration* (sequence length x layers x
+direction x passes), so training is launch- and dispatch-bound.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel, KernelCategory, fp32_bytes
+
+_RNN_MAX_COMPUTE_EFF = 0.35
+_RNN_MAX_MEMORY_EFF = 0.75
+
+
+def lstm_cell_pointwise(batch: int, hidden: int, backward: bool = False) -> Kernel:
+    """Gate nonlinearities + cell/hidden state update for one LSTM step.
+
+    Four gates (sigmoid x3, tanh x1) plus the state arithmetic: ~30 FLOPs
+    per hidden unit.  Traffic covers the 4*hidden pre-activations, previous
+    cell state and the two outputs.
+    """
+    if batch <= 0 or hidden <= 0:
+        raise ValueError("lstm cell needs positive batch and hidden size")
+    elements = batch * hidden
+    direction = "bw" if backward else "fw"
+    factor = 1.5 if backward else 1.0  # backward also produces gate grads
+    return Kernel(
+        name=f"cudnn::detail::lstm_cell_{direction}_pointwise",
+        category=KernelCategory.RNN_POINTWISE,
+        flops=30.0 * elements * factor,
+        bytes_accessed=fp32_bytes(7.0 * elements * factor),
+        max_compute_efficiency=_RNN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_RNN_MAX_MEMORY_EFF,
+    )
+
+
+def gru_cell_pointwise(batch: int, hidden: int, backward: bool = False) -> Kernel:
+    """Gate nonlinearities + state update for one GRU step (three gates)."""
+    if batch <= 0 or hidden <= 0:
+        raise ValueError("gru cell needs positive batch and hidden size")
+    elements = batch * hidden
+    direction = "bw" if backward else "fw"
+    factor = 1.5 if backward else 1.0
+    return Kernel(
+        name=f"cudnn::detail::gru_cell_{direction}_pointwise",
+        category=KernelCategory.RNN_POINTWISE,
+        flops=22.0 * elements * factor,
+        bytes_accessed=fp32_bytes(5.5 * elements * factor),
+        max_compute_efficiency=_RNN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_RNN_MAX_MEMORY_EFF,
+    )
+
+
+def vanilla_rnn_pointwise(batch: int, hidden: int, backward: bool = False) -> Kernel:
+    """tanh/ReLU update of a plain recurrent cell (Deep Speech 2 uses these
+    rather than LSTMs — one source of its better GPU utilization)."""
+    if batch <= 0 or hidden <= 0:
+        raise ValueError("rnn cell needs positive batch and hidden size")
+    elements = batch * hidden
+    direction = "bw" if backward else "fw"
+    factor = 1.5 if backward else 1.0
+    return Kernel(
+        name=f"cudnn::detail::rnn_cell_{direction}_pointwise",
+        category=KernelCategory.RNN_POINTWISE,
+        flops=6.0 * elements * factor,
+        bytes_accessed=fp32_bytes(3.0 * elements * factor),
+        max_compute_efficiency=_RNN_MAX_COMPUTE_EFF,
+        max_memory_efficiency=_RNN_MAX_MEMORY_EFF,
+    )

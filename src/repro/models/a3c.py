@@ -1,0 +1,64 @@
+"""A3C (Mnih et al., 2016) — asynchronous advantage actor-critic on Atari.
+
+The network is tiny (4 layers, Table 2): two convolutions over stacked
+4x84x84 frames, a 256-unit fully-connected layer, and linear policy/value
+heads.  The performance story is therefore *not* GPU arithmetic: every
+sample requires stepping the Atari 2600 emulator on the CPU, and the GPU
+sees only very small kernels.  This is why the paper measures A3C with by
+far the highest CPU utilization (28.75%, Fig. 7) and low GPU compute and
+FP32 utilization (Figs. 5g, 6g).
+
+The emulator cost is surfaced through the model registry's
+``cpu_cost_per_sample_s`` so the training session can charge it.
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    conv_layer,
+    dense_layer,
+)
+from repro.kernels.conv import ConvShape
+import repro.kernels.elementwise as ew
+import repro.kernels.misc as misc
+
+FRAME_STACK = 4
+FRAME_SIZE = 84
+ACTIONS = 6  # Atari Pong action set
+#: CPU time to advance the ALE emulator by one frame (including frame
+#: preprocessing); ~0.9 ms/frame is representative of 2017-era ALE.
+EMULATOR_STEP_SECONDS = 0.9e-3
+_INPUT_ELEMENTS_PER_SAMPLE = FRAME_STACK * FRAME_SIZE * FRAME_SIZE
+
+
+def build_a3c(batch_size: int) -> LayerGraph:
+    """A3C policy/value network over one batch of emulator transitions."""
+    graph = LayerGraph(
+        model_name="A3C",
+        batch_size=batch_size,
+        input_bytes=batch_size * _INPUT_ELEMENTS_PER_SAMPLE * 4,
+    )
+    conv1 = ConvShape(batch_size, FRAME_STACK, 16, FRAME_SIZE, FRAME_SIZE, 8, 8, 4, 0)
+    graph.add(conv_layer("conv1", conv1, first_layer=True))
+    elements1 = batch_size * 16 * conv1.out_h * conv1.out_w
+    graph.add(activation_layer("conv1_relu", elements1))
+
+    conv2 = ConvShape(batch_size, 16, 32, conv1.out_h, conv1.out_w, 4, 4, 2, 0)
+    graph.add(conv_layer("conv2", conv2))
+    elements2 = batch_size * 32 * conv2.out_h * conv2.out_w
+    graph.add(activation_layer("conv2_relu", elements2))
+
+    flat = 32 * conv2.out_h * conv2.out_w
+    graph.add(dense_layer("fc", batch_size, flat, 256))
+    graph.add(activation_layer("fc_relu", batch_size * 256))
+    graph.add(dense_layer("policy_head", batch_size, 256, ACTIONS))
+    graph.add(dense_layer("value_head", batch_size, 256, 1))
+    graph.extra_kernels = [
+        ew.softmax(batch_size, ACTIONS),
+        misc.cross_entropy_loss(batch_size, ACTIONS),  # policy-gradient loss
+        misc.cross_entropy_loss(batch_size, ACTIONS, backward=True),
+        ew.elementwise(batch_size, flops_per_element=4.0, name="advantage_kernel"),
+    ]
+    return graph

@@ -1,0 +1,71 @@
+"""AlexNet (Krizhevsky et al., 2012) — the historical anchor of Section 2.2:
+
+    "The first successful deep neural network that beat all competitors in
+    image classification task in 2012, was trained using two GTX 580 GPUs
+    in six days instead of months of training on CPUs."
+
+Included (outside the Table 2 suite) for the hardware-history example:
+simulating AlexNet on the catalog's GTX 580 vs. the paper's P4000 puts the
+2012-2018 hardware gap into the toolchain's own units.
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    conv_layer,
+    dense_layer,
+    dropout_layer,
+    pool_layer,
+    softmax_cross_entropy_kernels,
+)
+from repro.kernels.conv import ConvShape
+
+_IMAGENET_CLASSES = 1000
+_INPUT_ELEMENTS_PER_SAMPLE = 3 * 227 * 227
+
+
+def build_alexnet(batch_size: int) -> LayerGraph:
+    """The 8-layer AlexNet (5 conv + 3 FC) on 227x227 ImageNet crops."""
+    graph = LayerGraph(
+        model_name="AlexNet",
+        batch_size=batch_size,
+        input_bytes=batch_size * _INPUT_ELEMENTS_PER_SAMPLE * 4,
+    )
+    batch = batch_size
+
+    conv1 = ConvShape(batch, 3, 96, 227, 227, 11, 11, 4, 0)
+    graph.add(conv_layer("conv1", conv1, bias=True, first_layer=True))
+    h, w = conv1.out_h, conv1.out_w
+    graph.add(activation_layer("relu1", batch * 96 * h * w))
+    h2, w2 = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    graph.add(pool_layer("pool1", batch * 96 * h * w, batch * 96 * h2 * w2))
+    h, w = h2, w2
+
+    conv2 = ConvShape(batch, 96, 256, h, w, 5, 5, 1, 2)
+    graph.add(conv_layer("conv2", conv2, bias=True))
+    h, w = conv2.out_h, conv2.out_w
+    graph.add(activation_layer("relu2", batch * 256 * h * w))
+    h2, w2 = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    graph.add(pool_layer("pool2", batch * 256 * h * w, batch * 256 * h2 * w2))
+    h, w = h2, w2
+
+    for index, (in_c, out_c) in enumerate(((256, 384), (384, 384), (384, 256))):
+        shape = ConvShape(batch, in_c, out_c, h, w, 3, 3, 1, 1)
+        graph.add(conv_layer(f"conv{index + 3}", shape, bias=True))
+        graph.add(activation_layer(f"relu{index + 3}", batch * out_c * h * w))
+    h2, w2 = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    graph.add(pool_layer("pool5", batch * 256 * h * w, batch * 256 * h2 * w2))
+    h, w = h2, w2
+
+    flat = 256 * h * w
+    graph.add(dense_layer("fc6", batch, flat, 4096))
+    graph.add(activation_layer("relu6", batch * 4096))
+    graph.add(dropout_layer("dropout6", batch * 4096))
+    graph.add(dense_layer("fc7", batch, 4096, 4096))
+    graph.add(activation_layer("relu7", batch * 4096))
+    graph.add(dropout_layer("dropout7", batch * 4096))
+    graph.add(dense_layer("fc8", batch, 4096, _IMAGENET_CLASSES))
+    graph.extra_kernels = softmax_cross_entropy_kernels(batch, _IMAGENET_CLASSES)
+    return graph

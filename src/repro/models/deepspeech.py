@@ -1,0 +1,122 @@
+"""Deep Speech 2 (Amodei et al., 2016) — end-to-end speech recognition.
+
+The MXNet implementation the paper benchmarks: two 2-D convolutions over the
+log-spectrogram followed by five bidirectional *vanilla* recurrent layers
+(not LSTMs — the official model's 7 RNN layers are reduced to the MXNet
+default of 5 due to memory, per Table 2 footnote b), a fully-connected
+layer, and CTC loss over a character vocabulary.
+
+Properties the paper reports that this graph reproduces mechanically:
+
+- throughput is measured in *seconds of audio processed per second* because
+  utterance lengths vary widely (Section 3.4.3);
+- memory capacity limits the mini-batch to single digits on an 8 GB card
+  (the long time axis means enormous per-utterance activation stashes), and
+  throughput scales almost linearly in batch size with no saturation
+  (Observation 2);
+- hundreds of small per-timestep kernels keep FP32 utilization very low
+  (Observation 7), though plain RNN cells do better than LSTMs on GPU
+  occupancy (Observation 5).
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    batchnorm_layer,
+    conv_layer,
+    ctc_loss_kernels,
+    dense_layer,
+    gru_layer,
+    vanilla_rnn_layer,
+)
+from repro.kernels.conv import ConvShape
+
+#: Spectrogram geometry: 161 frequency bins, 10 ms hop.
+FREQ_BINS = 161
+#: Average utterance length in the LibriSpeech 100-hour training subset.
+AVG_AUDIO_SECONDS = 12.8
+#: Spectrogram frames per utterance (100 frames/second).
+TIME_STEPS = int(AVG_AUDIO_SECONDS * 100)
+HIDDEN = 1760
+RNN_LAYERS = 5
+#: Character vocabulary (a-z, space, apostrophe, blank).
+VOCAB = 29
+#: Average label length in characters.
+LABEL_LEN = 180
+
+
+def build_deep_speech2(batch_size: int, cell: str = "rnn") -> LayerGraph:
+    """Deep Speech 2 on LibriSpeech (100-hour subset).
+
+    ``cell`` selects the recurrent unit: ``"rnn"`` (the MXNet default the
+    paper benchmarks) or ``"gru"`` (the official model's alternative —
+    "seven regular recurrent layers or Gated Recurrent Units", §3.1.4).
+    """
+    if cell not in ("rnn", "gru"):
+        raise ValueError(f"cell must be 'rnn' or 'gru', got {cell!r}")
+    graph = LayerGraph(
+        model_name="Deep Speech 2",
+        batch_size=batch_size,
+        input_bytes=batch_size * FREQ_BINS * TIME_STEPS * 4,
+        samples_per_iteration=batch_size * AVG_AUDIO_SECONDS,
+        # Batches are padded to the longest utterance in the bucket; buffer
+        # pools are sized accordingly.
+        feature_map_overallocation=2.2,
+    )
+    # Conv 1: 41x11 kernel, stride (2, 2) over (freq, time).
+    conv1 = ConvShape(
+        batch_size, 1, 32, FREQ_BINS, TIME_STEPS, 41, 11, 2, padding_h=20, padding_w=5
+    )
+    graph.add(conv_layer("conv1", conv1, first_layer=True))
+    h1, w1 = conv1.out_h, conv1.out_w
+    elements1 = batch_size * 32 * h1 * w1
+    graph.add(batchnorm_layer("conv1_bn", elements1, 32))
+    graph.add(activation_layer("conv1_relu", elements1))
+
+    # Conv 2: 21x11 kernel, stride (2, 1) — time axis is not downsampled.
+    conv2 = ConvShape(
+        batch_size,
+        32,
+        32,
+        h1,
+        w1,
+        21,
+        11,
+        padding_h=10,
+        padding_w=5,
+        stride_h=2,
+        stride_w=1,
+    )
+    graph.add(conv_layer("conv2", conv2))
+    h2, w2 = conv2.out_h, conv2.out_w
+    elements2 = batch_size * 32 * h2 * w2
+    graph.add(batchnorm_layer("conv2_bn", elements2, 32))
+    graph.add(activation_layer("conv2_relu", elements2))
+
+    # Recurrent stack over the time axis; features = channels x freq.
+    rnn_steps = w2
+    size_in = 32 * h2
+    recurrent_factory = vanilla_rnn_layer if cell == "rnn" else gru_layer
+    for index in range(RNN_LAYERS):
+        graph.add(
+            recurrent_factory(
+                f"birnn{index}",
+                batch_size,
+                rnn_steps,
+                size_in,
+                HIDDEN,
+                bidirectional=True,
+            )
+        )
+        graph.add(
+            batchnorm_layer(
+                f"birnn{index}_bn", batch_size * rnn_steps * HIDDEN, HIDDEN
+            )
+        )
+        size_in = 2 * HIDDEN  # bidirectional outputs are summed per direction pair
+
+    graph.add(dense_layer("fc_vocab", batch_size * rnn_steps, size_in, VOCAB))
+    graph.extra_kernels = ctc_loss_kernels(batch_size, rnn_steps, LABEL_LEN, VOCAB)
+    return graph

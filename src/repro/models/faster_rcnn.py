@@ -1,0 +1,131 @@
+"""Faster R-CNN (Ren et al., 2015) with a ResNet-101 backbone on Pascal VOC.
+
+One training iteration processes a single ~600x1000 image (the mini-batch
+is fixed at one image per GPU, which is why the paper reports no batch
+sweep for this model): the shared ResNet-101 convolution stack runs up to
+conv4, the Region Proposal Network scores ~17k anchors, 128 sampled ROIs
+are pooled and pushed through the conv5 stage and the detection heads, and
+everything backpropagates through the shared stack.
+
+The proposal machinery (NMS, anchor bookkeeping, ROI sampling) runs on the
+CPU in both the paper's TensorFlow and MXNet implementations — markedly
+slower in TensorFlow (Fig. 7 shows 13.25% CPU utilization for TF vs. 3.64%
+for MXNet); that asymmetry is encoded in the model registry's
+per-framework extra CPU costs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import Layer, LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    conv_layer,
+    dense_layer,
+    softmax_cross_entropy_kernels,
+)
+from repro.kernels.conv import ConvShape
+import repro.kernels.elementwise as ew
+from repro.models.resnet import RESNET_101_STAGES, resnet_conv_stack
+
+IMAGE_H = 600
+IMAGE_W = 1000
+RPN_CHANNELS = 512
+ANCHORS_PER_CELL = 9
+SAMPLED_ROIS = 128
+ROI_POOL = 7
+VOC_CLASSES = 21  # 20 classes + background
+_INPUT_ELEMENTS_PER_SAMPLE = 3 * IMAGE_H * IMAGE_W
+
+
+def _rpn(graph: LayerGraph, batch: int, channels: int, h: int, w: int) -> None:
+    """Region Proposal Network: 3x3 conv + two 1x1 sibling heads."""
+    conv = ConvShape(batch, channels, RPN_CHANNELS, h, w, 3, 3, 1, 1)
+    graph.add(conv_layer("rpn_conv", conv))
+    elements = batch * RPN_CHANNELS * h * w
+    graph.add(activation_layer("rpn_relu", elements))
+    cls = ConvShape(batch, RPN_CHANNELS, 2 * ANCHORS_PER_CELL, h, w, 1, 1, 1, 0)
+    graph.add(conv_layer("rpn_cls_score", cls))
+    reg = ConvShape(batch, RPN_CHANNELS, 4 * ANCHORS_PER_CELL, h, w, 1, 1, 1, 0)
+    graph.add(conv_layer("rpn_bbox_pred", reg))
+
+
+def _roi_head(graph: LayerGraph, rois: int, in_channels: int) -> None:
+    """Per-ROI conv5 stage + classification and box-regression heads."""
+    # ROI pooling: gather the pooled 7x7 windows for every sampled ROI.
+    pooled_elements = rois * in_channels * ROI_POOL * ROI_POOL
+    graph.add(
+        Layer(
+            name="roi_pooling",
+            kind="pooling",
+            output_elements=pooled_elements,
+            forward_kernels=[
+                ew.elementwise(pooled_elements, reads=2, name="roi_pool_kernel")
+            ],
+            backward_kernels=[
+                ew.elementwise(
+                    pooled_elements, reads=1, writes=2, name="roi_pool_bw_kernel"
+                )
+            ],
+        )
+    )
+    # conv5 stage applied per ROI (3 bottleneck blocks at 7x7).
+    channels = in_channels
+    for block in range(3):
+        for index, (out_c, k) in enumerate(((512, 1), (512, 3), (2048, 1))):
+            shape = ConvShape(
+                rois, channels, out_c, ROI_POOL, ROI_POOL, k, k, 1, k // 2
+            )
+            graph.add(conv_layer(f"roi_conv5_{block}_{index}", shape))
+            elements = rois * out_c * ROI_POOL * ROI_POOL
+            graph.add(activation_layer(f"roi_relu5_{block}_{index}", elements))
+            channels = out_c
+    graph.add(
+        Layer(
+            name="roi_avgpool",
+            kind="pooling",
+            output_elements=rois * channels,
+            forward_kernels=[
+                ew.pooling_forward(
+                    rois * channels * ROI_POOL * ROI_POOL,
+                    rois * channels,
+                    window=ROI_POOL * ROI_POOL,
+                )
+            ],
+            backward_kernels=[
+                ew.pooling_backward(
+                    rois * channels * ROI_POOL * ROI_POOL,
+                    rois * channels,
+                    window=ROI_POOL * ROI_POOL,
+                )
+            ],
+        )
+    )
+    graph.add(dense_layer("cls_score", rois, channels, VOC_CLASSES))
+    graph.add(dense_layer("bbox_pred", rois, channels, 4 * VOC_CLASSES))
+
+
+def build_faster_rcnn(batch_size: int = 1) -> LayerGraph:
+    """Faster R-CNN; ``batch_size`` must be 1 (one image per iteration)."""
+    if batch_size != 1:
+        raise ValueError(
+            "Faster R-CNN trains one image per GPU per iteration "
+            f"(got batch_size={batch_size}); see paper Section 4.2.1"
+        )
+    graph = LayerGraph(
+        model_name="Faster R-CNN",
+        batch_size=1,
+        input_bytes=_INPUT_ELEMENTS_PER_SAMPLE * 4,
+    )
+    channels, h, w = resnet_conv_stack(
+        graph,
+        1,
+        IMAGE_H,
+        IMAGE_W,
+        RESNET_101_STAGES,
+        prefix="backbone",
+        stop_after_stage=3,
+    )
+    _rpn(graph, 1, channels, h, w)
+    _roi_head(graph, SAMPLED_ROIS, channels)
+    graph.extra_kernels = softmax_cross_entropy_kernels(SAMPLED_ROIS, VOC_CLASSES)
+    return graph

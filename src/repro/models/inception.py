@@ -1,0 +1,210 @@
+"""Inception-v3 (Szegedy et al., 2016) on 299x299 ImageNet inputs.
+
+The architecture follows the published v3 topology: a convolutional stem,
+three 35x35 Inception-A modules, a grid reduction, four 17x17 Inception-B
+modules with factorized 7x7 convolutions, another reduction, two 8x8
+Inception-C modules, global pooling and the 1000-way classifier — 42
+weighted layers, matching Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    batchnorm_layer,
+    conv_layer,
+    dense_layer,
+    pool_layer,
+    softmax_cross_entropy_kernels,
+)
+from repro.kernels.conv import ConvShape
+
+_IMAGENET_CLASSES = 1000
+_INPUT_ELEMENTS_PER_SAMPLE = 3 * 299 * 299
+
+
+def _conv_bn_relu(
+    graph: LayerGraph,
+    name: str,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    h: int,
+    w: int,
+    kernel,
+    stride: int = 1,
+    padding: int | None = None,
+    first_layer: bool = False,
+) -> tuple:
+    """Conv + BN + ReLU unit; returns (out_h, out_w)."""
+    kernel_h, kernel_w = kernel if isinstance(kernel, tuple) else (kernel, kernel)
+    if padding is None:
+        # 'same' padding (possibly asymmetric for 1x7 / 7x1 kernels).
+        shape = ConvShape(
+            batch,
+            in_channels,
+            out_channels,
+            h,
+            w,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding_h=kernel_h // 2,
+            padding_w=kernel_w // 2,
+        )
+    else:
+        shape = ConvShape(
+            batch, in_channels, out_channels, h, w, kernel_h, kernel_w, stride, padding
+        )
+    graph.add(conv_layer(f"{name}_conv", shape, first_layer=first_layer))
+    out_h, out_w = shape.out_h, shape.out_w
+    elements = batch * out_channels * out_h * out_w
+    graph.add(batchnorm_layer(f"{name}_bn", elements, out_channels))
+    graph.add(activation_layer(f"{name}_relu", elements))
+    return out_h, out_w
+
+
+def _inception_a(graph: LayerGraph, name: str, batch: int, in_channels: int, h: int, w: int, pool_features: int) -> int:
+    """35x35 Inception-A module; returns output channel count."""
+    _conv_bn_relu(graph, f"{name}_b1x1", batch, in_channels, 64, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b5_1", batch, in_channels, 48, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b5_2", batch, 48, 64, h, w, 5)
+    _conv_bn_relu(graph, f"{name}_b3_1", batch, in_channels, 64, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b3_2", batch, 64, 96, h, w, 3)
+    _conv_bn_relu(graph, f"{name}_b3_3", batch, 96, 96, h, w, 3)
+    graph.add(
+        pool_layer(
+            f"{name}_pool",
+            batch * in_channels * h * w,
+            batch * in_channels * h * w,
+        )
+    )
+    _conv_bn_relu(graph, f"{name}_bpool", batch, in_channels, pool_features, h, w, 1)
+    return 64 + 64 + 96 + pool_features
+
+
+def _reduction_a(graph: LayerGraph, name: str, batch: int, in_channels: int, h: int, w: int) -> tuple:
+    """35x35 -> 17x17 grid reduction; returns (channels, h, w)."""
+    out_h, out_w = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    _conv_bn_relu(graph, f"{name}_b3", batch, in_channels, 384, h, w, 3, stride=2, padding=0)
+    _conv_bn_relu(graph, f"{name}_b3d_1", batch, in_channels, 64, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b3d_2", batch, 64, 96, h, w, 3)
+    _conv_bn_relu(graph, f"{name}_b3d_3", batch, 96, 96, h, w, 3, stride=2, padding=0)
+    graph.add(
+        pool_layer(
+            f"{name}_pool",
+            batch * in_channels * h * w,
+            batch * in_channels * out_h * out_w,
+        )
+    )
+    return 384 + 96 + in_channels, out_h, out_w
+
+
+def _inception_b(graph: LayerGraph, name: str, batch: int, in_channels: int, h: int, w: int, channels_7x7: int) -> int:
+    """17x17 Inception-B module with factorized 7x7 convolutions."""
+    c7 = channels_7x7
+    _conv_bn_relu(graph, f"{name}_b1x1", batch, in_channels, 192, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b7_1", batch, in_channels, c7, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b7_2", batch, c7, c7, h, w, (1, 7))
+    _conv_bn_relu(graph, f"{name}_b7_3", batch, c7, 192, h, w, (7, 1))
+    _conv_bn_relu(graph, f"{name}_b7d_1", batch, in_channels, c7, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b7d_2", batch, c7, c7, h, w, (7, 1))
+    _conv_bn_relu(graph, f"{name}_b7d_3", batch, c7, c7, h, w, (1, 7))
+    _conv_bn_relu(graph, f"{name}_b7d_4", batch, c7, c7, h, w, (7, 1))
+    _conv_bn_relu(graph, f"{name}_b7d_5", batch, c7, 192, h, w, (1, 7))
+    graph.add(
+        pool_layer(
+            f"{name}_pool",
+            batch * in_channels * h * w,
+            batch * in_channels * h * w,
+        )
+    )
+    _conv_bn_relu(graph, f"{name}_bpool", batch, in_channels, 192, h, w, 1)
+    return 192 * 4
+
+
+def _reduction_b(graph: LayerGraph, name: str, batch: int, in_channels: int, h: int, w: int) -> tuple:
+    """17x17 -> 8x8 grid reduction."""
+    out_h, out_w = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    _conv_bn_relu(graph, f"{name}_b3_1", batch, in_channels, 192, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b3_2", batch, 192, 320, h, w, 3, stride=2, padding=0)
+    _conv_bn_relu(graph, f"{name}_b7_1", batch, in_channels, 192, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b7_2", batch, 192, 192, h, w, (1, 7))
+    _conv_bn_relu(graph, f"{name}_b7_3", batch, 192, 192, h, w, (7, 1))
+    _conv_bn_relu(graph, f"{name}_b7_4", batch, 192, 192, h, w, 3, stride=2, padding=0)
+    graph.add(
+        pool_layer(
+            f"{name}_pool",
+            batch * in_channels * h * w,
+            batch * in_channels * out_h * out_w,
+        )
+    )
+    return 320 + 192 + in_channels, out_h, out_w
+
+
+def _inception_c(graph: LayerGraph, name: str, batch: int, in_channels: int, h: int, w: int) -> int:
+    """8x8 Inception-C module with expanded filter banks."""
+    _conv_bn_relu(graph, f"{name}_b1x1", batch, in_channels, 320, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b3_1", batch, in_channels, 384, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b3_2a", batch, 384, 384, h, w, (1, 3))
+    _conv_bn_relu(graph, f"{name}_b3_2b", batch, 384, 384, h, w, (3, 1))
+    _conv_bn_relu(graph, f"{name}_b3d_1", batch, in_channels, 448, h, w, 1)
+    _conv_bn_relu(graph, f"{name}_b3d_2", batch, 448, 384, h, w, 3)
+    _conv_bn_relu(graph, f"{name}_b3d_3a", batch, 384, 384, h, w, (1, 3))
+    _conv_bn_relu(graph, f"{name}_b3d_3b", batch, 384, 384, h, w, (3, 1))
+    graph.add(
+        pool_layer(
+            f"{name}_pool",
+            batch * in_channels * h * w,
+            batch * in_channels * h * w,
+        )
+    )
+    _conv_bn_relu(graph, f"{name}_bpool", batch, in_channels, 192, h, w, 1)
+    return 320 + 768 + 768 + 192
+
+
+def build_inception_v3(batch_size: int) -> LayerGraph:
+    """Inception-v3 on ImageNet-1K (299x299 inputs)."""
+    graph = LayerGraph(
+        model_name="Inception-v3",
+        batch_size=batch_size,
+        input_bytes=batch_size * _INPUT_ELEMENTS_PER_SAMPLE * 4,
+    )
+    batch = batch_size
+    h, w = _conv_bn_relu(graph, "stem1", batch, 3, 32, 299, 299, 3, stride=2, padding=0, first_layer=True)
+    h, w = _conv_bn_relu(graph, "stem2", batch, 32, 32, h, w, 3, padding=0)
+    h, w = _conv_bn_relu(graph, "stem3", batch, 32, 64, h, w, 3, padding=1)
+    pooled_h, pooled_w = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    graph.add(
+        pool_layer("stem_pool1", batch * 64 * h * w, batch * 64 * pooled_h * pooled_w)
+    )
+    h, w = pooled_h, pooled_w
+    h, w = _conv_bn_relu(graph, "stem4", batch, 64, 80, h, w, 1, padding=0)
+    h, w = _conv_bn_relu(graph, "stem5", batch, 80, 192, h, w, 3, padding=0)
+    pooled_h, pooled_w = (h - 3) // 2 + 1, (w - 3) // 2 + 1
+    graph.add(
+        pool_layer("stem_pool2", batch * 192 * h * w, batch * 192 * pooled_h * pooled_w)
+    )
+    channels, h, w = 192, pooled_h, pooled_w
+
+    for index, pool_features in enumerate((32, 64, 64)):
+        channels = _inception_a(graph, f"mixed_a{index}", batch, channels, h, w, pool_features)
+    channels, h, w = _reduction_a(graph, "reduction_a", batch, channels, h, w)
+    for index, c7 in enumerate((128, 160, 160, 192)):
+        channels = _inception_b(graph, f"mixed_b{index}", batch, channels, h, w, c7)
+    channels, h, w = _reduction_b(graph, "reduction_b", batch, channels, h, w)
+    for index in range(2):
+        channels = _inception_c(graph, f"mixed_c{index}", batch, channels, h, w)
+
+    graph.add(
+        pool_layer(
+            "global_avgpool",
+            batch * channels * h * w,
+            batch * channels,
+            window=h * w,
+        )
+    )
+    graph.add(dense_layer("fc1000", batch, channels, _IMAGENET_CLASSES))
+    graph.extra_kernels = softmax_cross_entropy_kernels(batch, _IMAGENET_CLASSES)
+    return graph

@@ -1,0 +1,145 @@
+"""Model inspection: per-layer summaries of lowered graphs.
+
+The Keras-style ``model.summary()`` for this repository: given any model
+key (or a raw graph), produce a per-layer table of parameters, stashed
+feature-map megabytes, training FLOPs, and kernel counts, plus aggregation
+by layer kind — the quickest way to see *why* a model profiles the way it
+does (e.g. where Deep Speech 2's 32k kernel launches come from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import render_table
+from repro.graph.layer import LayerGraph
+from repro.models.registry import get_model
+
+_MIB = 1024.0**2
+_GFLOP = 1e9
+
+
+@dataclass(frozen=True)
+class LayerSummary:
+    """One layer's headline numbers."""
+
+    name: str
+    kind: str
+    parameters: int
+    feature_map_mib: float
+    gflops: float
+    kernels: int
+    inplace: bool
+
+
+@dataclass(frozen=True)
+class KindSummary:
+    """Aggregate over all layers of one kind."""
+
+    kind: str
+    layer_count: int
+    parameters: int
+    feature_map_mib: float
+    gflops: float
+    kernels: int
+
+
+def summarize_graph(graph: LayerGraph) -> list:
+    """Per-layer summaries, in execution order."""
+    return [
+        LayerSummary(
+            name=layer.name,
+            kind=layer.kind,
+            parameters=layer.weight_elements,
+            feature_map_mib=layer.stash_bytes / _MIB,
+            gflops=layer.flops / _GFLOP,
+            kernels=layer.kernel_count,
+            inplace=layer.inplace,
+        )
+        for layer in graph.layers
+    ]
+
+
+def summarize_by_kind(graph: LayerGraph) -> list:
+    """Aggregates per layer kind, ordered by FLOPs (descending)."""
+    buckets: dict = {}
+    for layer in graph.layers:
+        bucket = buckets.setdefault(
+            layer.kind, {"layers": 0, "params": 0, "fm": 0.0, "flops": 0.0, "kernels": 0}
+        )
+        bucket["layers"] += 1
+        bucket["params"] += layer.weight_elements
+        bucket["fm"] += layer.stash_bytes / _MIB
+        bucket["flops"] += layer.flops / _GFLOP
+        bucket["kernels"] += layer.kernel_count
+    summaries = [
+        KindSummary(
+            kind=kind,
+            layer_count=bucket["layers"],
+            parameters=bucket["params"],
+            feature_map_mib=bucket["fm"],
+            gflops=bucket["flops"],
+            kernels=bucket["kernels"],
+        )
+        for kind, bucket in buckets.items()
+    ]
+    return sorted(summaries, key=lambda s: s.gflops, reverse=True)
+
+
+def render_summary(
+    model, batch_size: int | None = None, max_layers: int = 25
+) -> str:
+    """Printable summary for a model key or a pre-built graph.
+
+    Long graphs list their ``max_layers`` heaviest layers by FLOPs, then
+    the by-kind aggregation and the totals.
+    """
+    if isinstance(model, LayerGraph):
+        graph = model
+    else:
+        spec = get_model(model)
+        graph = spec.build(
+            batch_size if batch_size is not None else spec.reference_batch
+        )
+    layers = summarize_graph(graph)
+    heaviest = sorted(layers, key=lambda s: s.gflops, reverse=True)[:max_layers]
+    layer_table = render_table(
+        headers=("layer", "kind", "params", "maps MiB", "GFLOPs", "kernels"),
+        rows=[
+            (
+                entry.name,
+                entry.kind + (" (in-place)" if entry.inplace else ""),
+                f"{entry.parameters:,}",
+                f"{entry.feature_map_mib:.1f}",
+                f"{entry.gflops:.2f}",
+                entry.kernels,
+            )
+            for entry in heaviest
+        ],
+        title=(
+            f"{graph.model_name} @ batch {graph.batch_size} — "
+            f"{len(layers)} layers (heaviest {len(heaviest)} shown)"
+        ),
+    )
+    kind_table = render_table(
+        headers=("kind", "layers", "params", "maps MiB", "GFLOPs", "kernels"),
+        rows=[
+            (
+                entry.kind,
+                entry.layer_count,
+                f"{entry.parameters:,}",
+                f"{entry.feature_map_mib:.1f}",
+                f"{entry.gflops:.2f}",
+                entry.kernels,
+            )
+            for entry in summarize_by_kind(graph)
+        ],
+        title="by layer kind",
+    )
+    totals = (
+        f"totals: {graph.total_weight_elements:,} parameters, "
+        f"{graph.total_feature_map_bytes / _MIB:.0f} MiB stashed maps, "
+        f"{graph.iteration_flops() / _GFLOP:.1f} GFLOPs/iteration, "
+        f"{len(graph.iteration_kernels()):,} kernels/iteration"
+    )
+    return f"{layer_table}\n\n{kind_table}\n\n{totals}"

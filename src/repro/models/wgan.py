@@ -1,0 +1,149 @@
+"""WGAN with gradient penalty (Gulrajani et al., 2017) on 64x64
+Downsampled ImageNet.
+
+Both generator and critic are small residual CNNs with four residual blocks
+each (Table 2 footnote c: "14+14" layers).  One benchmark "iteration"
+follows the WGAN-GP recipe:
+
+- ``CRITIC_ITERS`` critic updates per generator update, each of which runs
+  the generator forward (to synthesize fakes), the critic forward/backward
+  on real and fake batches, plus the gradient-penalty term — an extra
+  forward/backward through the critic on interpolated samples followed by a
+  second-order backward;
+- one generator update (generator forward + critic forward + backward
+  through both).
+
+A "sample" for throughput purposes is one generated image per generator
+update, matching the implementation's logging.
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import Layer, LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    batchnorm_layer,
+    conv_layer,
+    dense_layer,
+    residual_add_layer,
+)
+from repro.kernels.conv import ConvShape
+import repro.kernels.elementwise as ew
+
+IMAGE_SIZE = 64
+CHANNELS = 64
+RESIDUAL_BLOCKS = 4
+LATENT_DIM = 128
+CRITIC_ITERS = 5
+_INPUT_ELEMENTS_PER_SAMPLE = 3 * IMAGE_SIZE * IMAGE_SIZE
+
+
+def _residual_block(
+    graph: LayerGraph,
+    prefix: str,
+    batch: int,
+    channels: int,
+    h: int,
+    w: int,
+    norm: bool = True,
+) -> None:
+    """Two 3x3 convolutions with (optional) normalization and a shortcut."""
+    elements = batch * channels * h * w
+    for index in (1, 2):
+        shape = ConvShape(batch, channels, channels, h, w, 3, 3, 1, 1)
+        graph.add(conv_layer(f"{prefix}_conv{index}", shape))
+        if norm:
+            graph.add(batchnorm_layer(f"{prefix}_bn{index}", elements, channels))
+        graph.add(activation_layer(f"{prefix}_relu{index}", elements))
+    graph.add(residual_add_layer(f"{prefix}_add", elements))
+
+
+def _generator(graph: LayerGraph, batch: int) -> None:
+    """Latent vector -> 64x64 RGB image through 4 residual blocks."""
+    h = w = IMAGE_SIZE // 8
+    graph.add(dense_layer("gen_fc", batch, LATENT_DIM, CHANNELS * h * w))
+    size = h
+    for index in range(RESIDUAL_BLOCKS):
+        _residual_block(graph, f"gen_res{index}", batch, CHANNELS, size, size)
+        if size < IMAGE_SIZE:
+            # Nearest-neighbour upsample (an elementwise broadcast copy).
+            upsampled = batch * CHANNELS * (size * 2) * (size * 2)
+            graph.add(
+                Layer(
+                    name=f"gen_upsample{index}",
+                    kind="elementwise",
+                    output_elements=upsampled,
+                    forward_kernels=[
+                        ew.elementwise(upsampled, name="upsample_nearest_kernel")
+                    ],
+                    backward_kernels=[
+                        ew.elementwise(upsampled, name="upsample_nearest_bw_kernel")
+                    ],
+                )
+            )
+            size *= 2
+    final = ConvShape(batch, CHANNELS, 3, size, size, 3, 3, 1, 1)
+    graph.add(conv_layer("gen_output_conv", final))
+
+
+def _critic(graph: LayerGraph, batch: int, passes: float) -> None:
+    """64x64 image -> scalar score through 4 residual blocks.
+
+    ``passes`` scales the kernel work for the multiple critic evaluations
+    per benchmark iteration (real, fake, interpolated, generator step).
+    """
+    size = IMAGE_SIZE
+    stem = ConvShape(batch, 3, CHANNELS, size, size, 3, 3, 1, 1)
+    graph.add(conv_layer("critic_stem", stem, first_layer=True))
+    for index in range(RESIDUAL_BLOCKS):
+        _residual_block(
+            graph, f"critic_res{index}", batch, CHANNELS, size, size, norm=False
+        )
+        if size > IMAGE_SIZE // 8:
+            in_elements = batch * CHANNELS * size * size
+            pooled = batch * CHANNELS * (size // 2) * (size // 2)
+            graph.add(
+                Layer(
+                    name=f"critic_down{index}",
+                    kind="pooling",
+                    output_elements=pooled,
+                    forward_kernels=[ew.pooling_forward(in_elements, pooled, window=4)],
+                    backward_kernels=[ew.pooling_backward(in_elements, pooled, window=4)],
+                )
+            )
+            size //= 2
+    graph.add(dense_layer("critic_score", batch, CHANNELS * size * size, 1))
+    # Scale all critic kernels for the repeated evaluations, and the stash
+    # for the activation sets that stay live together (real batch, fake
+    # batch, and the gradient-penalty interpolates).
+    for layer in graph.layers:
+        if layer.name.startswith("critic"):
+            layer.forward_kernels = [k.scaled(passes) for k in layer.forward_kernels]
+            layer.backward_kernels = [k.scaled(passes) for k in layer.backward_kernels]
+            layer.output_elements *= 3
+
+
+def build_wgan(batch_size: int) -> LayerGraph:
+    """WGAN-GP benchmark iteration (5 critic steps + 1 generator step)."""
+    graph = LayerGraph(
+        model_name="WGAN",
+        batch_size=batch_size,
+        input_bytes=batch_size * _INPUT_ELEMENTS_PER_SAMPLE * 4 * CRITIC_ITERS,
+    )
+    _generator(graph, batch_size)
+    # Fake batches from multiple critic iterations stay live together.
+    for layer in graph.layers:
+        if layer.name.startswith("gen"):
+            layer.output_elements *= 2
+    # Critic work per benchmark iteration: CRITIC_ITERS updates x (real +
+    # fake + gradient-penalty double-backward ~ 2x) + the generator update's
+    # critic pass.
+    critic_passes = CRITIC_ITERS * (2.0 + 2.0) / 2.0 + 1.0
+    _critic(graph, batch_size, critic_passes)
+    # Generator also runs forward once per critic iteration to produce fakes.
+    for layer in graph.layers:
+        if layer.name.startswith("gen"):
+            layer.forward_kernels = [
+                k.scaled(1.0 + CRITIC_ITERS * 0.5) for k in layer.forward_kernels
+            ]
+    return graph

@@ -1,0 +1,136 @@
+"""YOLOv2 / YOLO9000 (Redmon & Farhadi, 2016) — the extension the paper
+explicitly plans:
+
+    "In the future, we plan to add YOLO9000, a network recently proposed
+    for the real-time detection of objects, to our benchmark suite."
+    (Section 3.1.2)
+
+The network is Darknet-19 (19 conv layers alternating 3x3/1x1 with
+channel-halving bottlenecks, batch-norm throughout, five maxpool stages)
+plus the detection head: a passthrough (reorg) connection and a final
+1x1 conv predicting 5 boxes x (5 + classes) per cell.  Unlike Faster
+R-CNN's two-network iteration, YOLO trains as a single-shot network with
+ordinary mini-batches — the property that makes it fast.
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import Layer, LayerGraph
+from repro.graph.lowering import (
+    activation_layer,
+    batchnorm_layer,
+    conv_layer,
+    pool_layer,
+)
+import repro.kernels.elementwise as ew
+import repro.kernels.misc as misc
+
+IMAGE_SIZE = 416
+ANCHORS = 5
+CLASSES = 20  # Pascal VOC detection head
+_INPUT_ELEMENTS_PER_SAMPLE = 3 * IMAGE_SIZE * IMAGE_SIZE
+
+#: Darknet-19 trunk: (out_channels, kernel) per conv, 'M' = maxpool.
+_DARKNET19 = (
+    (32, 3), "M",
+    (64, 3), "M",
+    (128, 3), (64, 1), (128, 3), "M",
+    (256, 3), (128, 1), (256, 3), "M",
+    (512, 3), (256, 1), (512, 3), (256, 1), (512, 3), "M",
+    (1024, 3), (512, 1), (1024, 3), (512, 1), (1024, 3),
+)
+
+
+def _conv_bn_leaky(graph, name, batch, in_channels, out_channels, h, w, kernel,
+                   first_layer=False):
+    from repro.kernels.conv import ConvShape
+
+    shape = ConvShape(
+        batch, in_channels, out_channels, h, w, kernel, kernel, 1, kernel // 2
+    )
+    graph.add(conv_layer(f"{name}_conv", shape, first_layer=first_layer))
+    elements = batch * out_channels * shape.out_h * shape.out_w
+    graph.add(batchnorm_layer(f"{name}_bn", elements, out_channels))
+    graph.add(activation_layer(f"{name}_leaky", elements, kind="relu"))
+    return shape.out_h, shape.out_w
+
+
+def build_yolo_v2(batch_size: int) -> LayerGraph:
+    """YOLOv2 with the Darknet-19 backbone on 416x416 inputs."""
+    graph = LayerGraph(
+        model_name="YOLOv2",
+        batch_size=batch_size,
+        input_bytes=batch_size * _INPUT_ELEMENTS_PER_SAMPLE * 4,
+    )
+    channels, h, w = 3, IMAGE_SIZE, IMAGE_SIZE
+    index = 0
+    passthrough_elements = 0
+    for entry in _DARKNET19:
+        if entry == "M":
+            pooled_h, pooled_w = h // 2, w // 2
+            graph.add(
+                pool_layer(
+                    f"pool{index}",
+                    batch_size * channels * h * w,
+                    batch_size * channels * pooled_h * pooled_w,
+                    window=4,
+                )
+            )
+            h, w = pooled_h, pooled_w
+            continue
+        out_channels, kernel = entry
+        h, w = _conv_bn_leaky(
+            graph,
+            f"darknet{index}",
+            batch_size,
+            channels,
+            out_channels,
+            h,
+            w,
+            kernel,
+            first_layer=(index == 0),
+        )
+        channels = out_channels
+        index += 1
+        if channels == 512 and h == IMAGE_SIZE // 16:
+            # The 26x26x512 map feeds the passthrough connection.
+            passthrough_elements = batch_size * channels * h * w
+
+    # Detection head: two 3x3 convs, the reorg'd passthrough concat, and the
+    # final 1x1 predictor.
+    for head_index in (0, 1):
+        h, w = _conv_bn_leaky(
+            graph, f"head{head_index}", batch_size, channels, 1024, h, w, 3
+        )
+        channels = 1024
+    graph.add(
+        Layer(
+            name="reorg_passthrough",
+            kind="elementwise",
+            output_elements=passthrough_elements,
+            forward_kernels=[
+                ew.elementwise(passthrough_elements, name="reorg_kernel")
+            ],
+            backward_kernels=[
+                ew.elementwise(passthrough_elements, name="reorg_bw_kernel")
+            ],
+        )
+    )
+    channels += 2048  # 26x26x512 reorganized to 13x13x2048
+    h2, w2 = _conv_bn_leaky(graph, "head2", batch_size, channels, 1024, h, w, 3)
+    predictions = ANCHORS * (5 + CLASSES)
+    from repro.kernels.conv import ConvShape
+
+    final = ConvShape(batch_size, 1024, predictions, h2, w2, 1, 1, 1, 0)
+    graph.add(conv_layer("detector", final))
+    detection_cells = batch_size * h2 * w2
+    graph.extra_kernels = [
+        misc.cross_entropy_loss(detection_cells * ANCHORS, 5 + CLASSES),
+        misc.cross_entropy_loss(detection_cells * ANCHORS, 5 + CLASSES, backward=True),
+        ew.elementwise(
+            detection_cells * predictions,
+            flops_per_element=6.0,
+            name="yolo_box_loss_kernel",
+        ),
+    ]
+    return graph

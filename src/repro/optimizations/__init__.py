@@ -1,0 +1,34 @@
+"""The paper's optimization recommendations, as executable what-ifs.
+
+Section 4 and the conclusion point future work at three targets; each gets
+a quantitative model here:
+
+- **feature-map memory** ("any optimization that wants to reduce the memory
+  footprint of training should, first of all, focus on feature maps",
+  Obs. 11/12) — :mod:`repro.optimizations.offload` implements vDNN-style
+  offloading of stashed feature maps to host memory (Rhu et al. [83]), and
+  :mod:`repro.optimizations.precision` the FP16 storage variant;
+- **RNN layer efficiency** ("further research should be done in how to
+  optimize LSTM cells on GPUs", Obs. 5/7) —
+  :mod:`repro.optimizations.fusion` rewrites per-timestep LSTM kernels into
+  cuDNN-style fused layers and measures the gain;
+- **freed memory reinvestment** (Obs. 12: use it for "larger workspace ...
+  and deeper models") — :mod:`repro.optimizations.depth` finds the deepest
+  residual network that fits at a given batch size.
+"""
+
+from repro.optimizations.offload import FeatureMapOffload, OffloadPlan
+from repro.optimizations.precision import HalfPrecisionStorage, PrecisionPlan
+from repro.optimizations.fusion import FusionResult, fuse_recurrent_layers
+from repro.optimizations.depth import DepthPlan, deepest_resnet_that_fits
+
+__all__ = [
+    "FeatureMapOffload",
+    "OffloadPlan",
+    "HalfPrecisionStorage",
+    "PrecisionPlan",
+    "fuse_recurrent_layers",
+    "FusionResult",
+    "deepest_resnet_that_fits",
+    "DepthPlan",
+]

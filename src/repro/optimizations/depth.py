@@ -1,0 +1,120 @@
+"""Reinvesting freed memory in depth (Observation 12).
+
+The paper: "One can use the additional GPU memory for larger workspace …
+and deeper models (e.g., ResNet-102 vs. ResNet-50)."  This module answers
+the concrete question: at a given mini-batch size, how deep a residual
+network fits on the GPU?  Depth is varied through the conv4 stage's block
+count, the axis along which ResNet-50 (6 blocks), ResNet-101 (23) and
+ResNet-152 (36) differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frameworks.registry import get_framework
+from repro.graph.layer import LayerGraph
+from repro.graph.lowering import dense_layer, pool_layer, softmax_cross_entropy_kernels
+from repro.hardware.devices import GPUSpec, QUADRO_P4000
+from repro.hardware.memory import GPUMemoryAllocator, OutOfMemoryError
+from repro.models.resnet import resnet_conv_stack
+from repro.training.session import TrainingSession
+
+#: conv4 block count -> conventional name.
+_NAMED_DEPTHS = {6: "ResNet-50", 23: "ResNet-101", 36: "ResNet-152"}
+
+
+def _layer_count(conv4_blocks: int) -> int:
+    """Weighted-layer count of the resulting network (3 per bottleneck +
+    stem conv + final fc)."""
+    blocks = 3 + 4 + conv4_blocks + 3
+    return 3 * blocks + 2
+
+
+def build_resnet_with_depth(batch_size: int, conv4_blocks: int) -> LayerGraph:
+    """A bottleneck ResNet with a variable conv4 stage."""
+    if conv4_blocks < 1:
+        raise ValueError("need at least one conv4 block")
+    name = _NAMED_DEPTHS.get(conv4_blocks, f"ResNet-{_layer_count(conv4_blocks)}")
+    graph = LayerGraph(
+        model_name=name,
+        batch_size=batch_size,
+        input_bytes=batch_size * 3 * 224 * 224 * 4,
+    )
+    channels, h, w = resnet_conv_stack(
+        graph, batch_size, 224, 224, (3, 4, conv4_blocks, 3)
+    )
+    graph.add(
+        pool_layer(
+            "global_avgpool",
+            batch_size * channels * h * w,
+            batch_size * channels,
+            window=h * w,
+        )
+    )
+    graph.add(dense_layer("fc1000", batch_size, channels, 1000))
+    graph.extra_kernels = softmax_cross_entropy_kernels(batch_size, 1000)
+    return graph
+
+
+@dataclass(frozen=True)
+class DepthPlan:
+    """The deepest network that fits at one batch size."""
+
+    batch_size: int
+    conv4_blocks: int
+    layer_count: int
+    name: str
+    total_gib: float
+    throughput: float
+
+
+def deepest_resnet_that_fits(
+    batch_size: int,
+    framework: str = "mxnet",
+    gpu: GPUSpec = QUADRO_P4000,
+    max_conv4_blocks: int = 60,
+) -> DepthPlan:
+    """Find the largest conv4 stage that fits GPU memory at ``batch_size``.
+
+    Raises:
+        OutOfMemoryError: if even the shallowest network does not fit.
+    """
+    framework_obj = get_framework(framework)
+    session = TrainingSession("resnet-50", framework, gpu=gpu)
+    best = None
+    for conv4_blocks in range(6, max_conv4_blocks + 1):
+        graph = build_resnet_with_depth(batch_size, conv4_blocks)
+        allocator = GPUMemoryAllocator(
+            gpu.memory_bytes, pool_overhead=framework_obj.pool_overhead
+        )
+        try:
+            session._allocate(graph, allocator)
+        except OutOfMemoryError:
+            break
+        snapshot = allocator.snapshot()
+        profile = session.simulate_graph(graph)
+        best = DepthPlan(
+            batch_size=batch_size,
+            conv4_blocks=conv4_blocks,
+            layer_count=_layer_count(conv4_blocks),
+            name=graph.model_name,
+            total_gib=snapshot.peak_total / 1024.0**3,
+            throughput=profile.throughput,
+        )
+    if best is None:
+        raise OutOfMemoryError(
+            f"no residual depth fits at batch {batch_size} on {gpu.name}"
+        )
+    return best
+
+
+def depth_for_batch_tradeoff(framework: str = "mxnet", batches=(8, 16, 32, 64)) -> list:
+    """The Obs. 12 trade-off table: smaller batches buy deeper networks."""
+    plans = []
+    for batch in batches:
+        try:
+            plans.append(deepest_resnet_that_fits(batch, framework))
+        except OutOfMemoryError:
+            continue
+    return plans

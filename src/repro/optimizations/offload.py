@@ -1,0 +1,140 @@
+"""vDNN-style feature-map offloading (Rhu et al., MICRO'16 — [83] in the
+paper, the work whose memory-breakdown observations the paper extends).
+
+Mechanism: forward-pass feature maps are stashed only for the backward
+pass; between their two uses they can live in host memory.  Offloading a
+fraction ``f`` of the stash saves ``f x feature_map_bytes`` of GPU memory
+at the price of moving those bytes out after the forward pass and back in
+before the backward pass (2x traffic over PCIe), partially overlapped with
+compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.interconnect import Interconnect, PCIE_3_X16
+from repro.hardware.memory import AllocationTag, GPUMemoryAllocator, OutOfMemoryError
+from repro.training.session import GRADIENT_MAP_FACTOR, TrainingSession
+
+#: Fraction of offload traffic hidden behind compute (vDNN overlaps its
+#: prefetches with the convolution stream).
+_OFFLOAD_OVERLAP = 0.7
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """Resolved effect of offloading at one (batch, fraction) point."""
+
+    model: str
+    framework: str
+    batch_size: int
+    offload_fraction: float
+    gpu_memory_saved_bytes: float
+    transfer_bytes_per_iteration: float
+    exposed_transfer_s: float
+    baseline_throughput: float
+    throughput: float
+
+    @property
+    def throughput_cost_fraction(self) -> float:
+        """Relative throughput lost to the exposed transfers."""
+        if self.baseline_throughput <= 0:
+            return 0.0
+        return 1.0 - self.throughput / self.baseline_throughput
+
+    @property
+    def memory_saved_gib(self) -> float:
+        return self.gpu_memory_saved_bytes / 1024.0**3
+
+
+class FeatureMapOffload:
+    """Evaluates vDNN-style offloading for one training session."""
+
+    def __init__(self, session: TrainingSession, link: Interconnect = PCIE_3_X16):
+        self.session = session
+        self.link = link
+
+    def plan(self, batch_size: int, offload_fraction: float) -> OffloadPlan:
+        """Compute the memory/throughput trade at ``offload_fraction``.
+
+        Raises:
+            ValueError: if the fraction is outside [0, 1].
+        """
+        if not 0.0 <= offload_fraction <= 1.0:
+            raise ValueError("offload fraction must be in [0, 1]")
+        session = self.session
+        graph = session.spec.build(batch_size)
+        baseline = session.simulate_graph(graph)
+
+        fm_factor = (1.0 + GRADIENT_MAP_FACTOR) * graph.feature_map_overallocation
+        stash_bytes = graph.total_feature_map_bytes * fm_factor
+        saved = stash_bytes * offload_fraction
+        transfer = 2.0 * graph.total_feature_map_bytes * offload_fraction
+        exposed = self.link.transfer_time(transfer) * (1.0 - _OFFLOAD_OVERLAP)
+        iteration = baseline.iteration_time_s + exposed
+        throughput = baseline.effective_samples / iteration
+        return OffloadPlan(
+            model=session.spec.display_name,
+            framework=session.framework.name,
+            batch_size=batch_size,
+            offload_fraction=offload_fraction,
+            gpu_memory_saved_bytes=saved,
+            transfer_bytes_per_iteration=transfer,
+            exposed_transfer_s=exposed,
+            baseline_throughput=baseline.throughput,
+            throughput=throughput,
+        )
+
+    def fits(self, batch_size: int, offload_fraction: float) -> bool:
+        """Does the configuration fit GPU memory with offloading applied?"""
+        session = self.session
+        graph = session.spec.build(batch_size)
+        allocator = GPUMemoryAllocator(
+            session.gpu.memory_bytes, pool_overhead=session.framework.pool_overhead
+        )
+        try:
+            session._allocate(graph, allocator)
+        except OutOfMemoryError:
+            # Replay with the offloaded fraction removed from feature maps.
+            allocator = GPUMemoryAllocator(
+                session.gpu.memory_bytes,
+                pool_overhead=session.framework.pool_overhead,
+            )
+            fm_factor = (
+                (1.0 + GRADIENT_MAP_FACTOR)
+                * graph.feature_map_overallocation
+                * (1.0 - offload_fraction)
+            )
+            try:
+                for layer in graph.layers:
+                    if layer.weight_bytes:
+                        allocator.allocate(layer.weight_bytes, AllocationTag.WEIGHTS)
+                        allocator.allocate(
+                            layer.weight_bytes, AllocationTag.WEIGHT_GRADIENTS
+                        )
+                    if layer.stash_bytes:
+                        allocator.allocate(
+                            layer.stash_bytes * fm_factor, AllocationTag.FEATURE_MAPS
+                        )
+                    if layer.workspace_bytes:
+                        allocator.allocate(
+                            layer.workspace_bytes * session.framework.workspace_factor,
+                            AllocationTag.WORKSPACE,
+                        )
+                allocator.allocate(graph.total_weight_bytes, AllocationTag.DYNAMIC)
+            except OutOfMemoryError:
+                return False
+        return True
+
+    def max_batch_with_offload(self, candidates, offload_fraction: float) -> int:
+        """Largest candidate batch that fits when offloading is enabled —
+        quantifies how much further the batch axis stretches (the paper's
+        'GPU memory is often not utilized efficiently' finding inverted)."""
+        best = 0
+        for batch in sorted(candidates):
+            if self.fits(batch, offload_fraction):
+                best = batch
+            else:
+                break
+        return best

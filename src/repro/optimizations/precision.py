@@ -1,0 +1,127 @@
+"""FP16 storage what-if.
+
+The paper's related work (Section 5) surveys precision-reduction
+techniques and notes that training with quantized values loses accuracy on
+large models — but *storing* feature maps in FP16 while computing in FP32
+(the mixed-precision recipe that matured a year after the paper) halves
+the dominant memory class without the accuracy problem.  On the paper's
+Pascal-generation GPUs FP16 arithmetic is not faster (no tensor cores;
+fp16 CUDA-core rate is crippled), so this model changes **memory only**,
+plus the bandwidth relief of half-sized map traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.memory import AllocationTag
+from repro.training.session import GRADIENT_MAP_FACTOR, TrainingSession
+
+#: FP16 halves feature-map storage; weights keep an FP32 master copy plus
+#: the FP16 working copy (x1.5 total).
+_FEATURE_MAP_SCALE = 0.5
+_WEIGHT_SCALE = 1.5
+
+
+@dataclass(frozen=True)
+class PrecisionPlan:
+    """Memory effect of FP16 storage for one configuration."""
+
+    model: str
+    framework: str
+    batch_size: int
+    fp32_total_bytes: float
+    fp16_total_bytes: float
+    fp32_feature_map_bytes: float
+    fp16_feature_map_bytes: float
+
+    @property
+    def total_saving_fraction(self) -> float:
+        if self.fp32_total_bytes <= 0:
+            return 0.0
+        return 1.0 - self.fp16_total_bytes / self.fp32_total_bytes
+
+    @property
+    def saved_gib(self) -> float:
+        return (self.fp32_total_bytes - self.fp16_total_bytes) / 1024.0**3
+
+
+class HalfPrecisionStorage:
+    """Evaluates FP16 feature-map storage for one session."""
+
+    def __init__(self, session: TrainingSession):
+        self.session = session
+
+    def plan(self, batch_size: int) -> PrecisionPlan:
+        """Memory breakdown under FP16 storage vs. the FP32 baseline."""
+        snapshot = self.session.profile_memory(batch_size)
+        fm = snapshot.peak_by_tag[AllocationTag.FEATURE_MAPS]
+        weights = snapshot.peak_by_tag[AllocationTag.WEIGHTS]
+        gradients = snapshot.peak_by_tag[AllocationTag.WEIGHT_GRADIENTS]
+        dynamic = snapshot.peak_by_tag[AllocationTag.DYNAMIC]
+        workspace = snapshot.peak_by_tag[AllocationTag.WORKSPACE]
+        fp32_total = fm + weights + gradients + dynamic + workspace
+        fp16_total = (
+            fm * _FEATURE_MAP_SCALE
+            + weights * _WEIGHT_SCALE
+            + gradients * _FEATURE_MAP_SCALE  # fp16 gradients
+            + dynamic  # fp32 optimizer state retained
+            + workspace
+        )
+        return PrecisionPlan(
+            model=self.session.spec.display_name,
+            framework=self.session.framework.name,
+            batch_size=batch_size,
+            fp32_total_bytes=fp32_total,
+            fp16_total_bytes=fp16_total,
+            fp32_feature_map_bytes=fm,
+            fp16_feature_map_bytes=fm * _FEATURE_MAP_SCALE,
+        )
+
+    def max_batch(self, candidates) -> int:
+        """Largest candidate batch whose FP16 footprint fits GPU memory."""
+        capacity = self.session.gpu.memory_bytes
+        best = 0
+        for batch in sorted(candidates):
+            try:
+                plan = self._plan_unchecked(batch)
+            except Exception:
+                break
+            if plan.fp16_total_bytes <= capacity:
+                best = batch
+            else:
+                break
+        return best
+
+    def _plan_unchecked(self, batch_size: int) -> PrecisionPlan:
+        """Like :meth:`plan` but without the FP32 capacity check (FP16 may
+        fit where FP32 does not — that is the point)."""
+        session = self.session
+        graph = session.spec.build(batch_size)
+        fm_factor = (1.0 + GRADIENT_MAP_FACTOR) * graph.feature_map_overallocation
+        pool = session.framework.pool_overhead
+        fm = graph.total_feature_map_bytes * fm_factor * pool
+        fm += graph.input_bytes * 2 * pool
+        weights = graph.total_weight_bytes * pool
+        gradients = graph.total_weight_bytes * pool
+        dynamic = graph.total_weight_bytes * pool
+        workspace = (
+            graph.total_workspace_bytes * session.framework.workspace_factor * pool
+        )
+        fp32_total = fm + 2 * weights + gradients + workspace  # momentum incl.
+        fp16_total = (
+            fm * _FEATURE_MAP_SCALE
+            + weights * _WEIGHT_SCALE
+            + gradients * _FEATURE_MAP_SCALE
+            + weights  # optimizer state
+            + workspace
+        )
+        return PrecisionPlan(
+            model=session.spec.display_name,
+            framework=session.framework.name,
+            batch_size=batch_size,
+            fp32_total_bytes=fp32_total,
+            fp16_total_bytes=fp16_total,
+            fp32_feature_map_bytes=fm,
+            fp16_feature_map_bytes=fm * _FEATURE_MAP_SCALE,
+        )

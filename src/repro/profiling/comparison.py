@@ -1,0 +1,83 @@
+"""Statistically sound A/B comparison of benchmark configurations.
+
+"Is MXNet really faster than TensorFlow on ResNet-50, or is that noise?"
+The paper answers with single sampled numbers; this harness answers with
+measurement statistics: it synthesizes per-iteration throughput samples
+for each side (the simulated stable-phase iteration time plus the observed
+~2% stable-phase jitter, via :class:`IterationTimeline`), then runs the
+Welch comparison from :mod:`repro.profiling.statistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.sampling import IterationTimeline, StablePhaseSampler
+from repro.profiling.statistics import ComparisonResult, compare, summarize
+from repro.training.session import TrainingSession
+
+
+@dataclass(frozen=True)
+class ABReport:
+    """Outcome of one A/B throughput comparison."""
+
+    label_a: str
+    label_b: str
+    mean_a: float
+    mean_b: float
+    ci_a: tuple
+    ci_b: tuple
+    result: ComparisonResult
+
+    @property
+    def verdict(self) -> str:
+        """Human-readable outcome."""
+        if not self.result.significant:
+            return (
+                f"{self.label_a} and {self.label_b} are statistically "
+                "indistinguishable at this sample size"
+            )
+        return (
+            f"{self.result.faster} is faster "
+            f"(difference {abs(self.result.mean_difference):.1f}, 95% CI "
+            f"[{self.result.ci_low:.1f}, {self.result.ci_high:.1f}])"
+        )
+
+
+def _throughput_samples(
+    model: str, framework: str, batch: int, iterations: int, seed: int
+):
+    session = TrainingSession(model, framework)
+    profile = session.run_iteration(batch)
+    timeline = IterationTimeline(
+        stable_iteration_s=profile.iteration_time_s, jitter=0.02, seed=seed
+    )
+    durations = timeline.durations(max(600, iterations * 3))
+    sampler = StablePhaseSampler()
+    window = sampler.choose_window(durations, iterations)
+    stable = durations[window.start_iteration : window.end_iteration]
+    return profile.effective_samples / stable
+
+
+def ab_compare(
+    model: str,
+    framework_a: str,
+    framework_b: str,
+    batch: int,
+    iterations: int = 200,
+) -> ABReport:
+    """Compare two frameworks on one model with sampled iterations."""
+    samples_a = _throughput_samples(model, framework_a, batch, iterations, seed=1)
+    samples_b = _throughput_samples(model, framework_b, batch, iterations, seed=2)
+    summary_a = summarize(samples_a)
+    summary_b = summarize(samples_b)
+    result = compare(samples_a, samples_b, (framework_a, framework_b))
+    return ABReport(
+        label_a=framework_a,
+        label_b=framework_b,
+        mean_a=summary_a.mean,
+        mean_b=summary_b.mean,
+        ci_a=(summary_a.ci_low, summary_a.ci_high),
+        ci_b=(summary_b.ci_low, summary_b.ci_high),
+        result=result,
+    )

@@ -1,0 +1,98 @@
+"""vTune-style host-side profiling.
+
+The paper uses Intel VTune to measure the cumulative active time of every
+core (Eq. 3) and to identify hotspots.  Our simulated equivalent decomposes
+a training iteration's CPU core-seconds into the components the simulator
+accounts — kernel dispatch, control-flow syncs, the input pipeline, the
+framework frontend, model-specific host stages (Faster R-CNN proposals),
+and environment simulation (A3C) — and reports them hotspot-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.pipeline import DataPipelineModel
+from repro.data.registry import get_dataset
+from repro.training.session import TrainingSession
+
+
+@dataclass(frozen=True)
+class CPUSample:
+    """One iteration's host-CPU decomposition (core-seconds)."""
+
+    dispatch_s: float
+    sync_s: float
+    frontend_s: float
+    pipeline_s: float
+    host_stage_s: float
+    environment_s: float
+    iteration_time_s: float
+    core_count: int
+
+    @property
+    def total_core_seconds(self) -> float:
+        return (
+            self.dispatch_s
+            + self.sync_s
+            + self.frontend_s
+            + self.pipeline_s
+            + self.host_stage_s
+            + self.environment_s
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Paper Eq. 3: mean utilization across all cores."""
+        return min(
+            1.0, self.total_core_seconds / (self.core_count * self.iteration_time_s)
+        )
+
+    def hotspots(self) -> list:
+        """Components ranked by core-seconds, vTune hotspot style."""
+        named = [
+            ("kernel dispatch", self.dispatch_s),
+            ("control-flow syncs", self.sync_s),
+            ("framework frontend", self.frontend_s),
+            ("input pipeline", self.pipeline_s),
+            ("host-side model stages", self.host_stage_s),
+            ("environment simulation", self.environment_s),
+        ]
+        return sorted(named, key=lambda item: item[1], reverse=True)
+
+
+class CPUSampler:
+    """Produces :class:`CPUSample` records for a training session."""
+
+    def __init__(self, session: TrainingSession):
+        self.session = session
+
+    def sample(self, batch_size: int | None = None) -> CPUSample:
+        """Decompose one stable-phase iteration's CPU time."""
+        session = self.session
+        batch = batch_size if batch_size is not None else session.spec.reference_batch
+        profile = session.run_iteration(batch)
+
+        framework = session.framework
+        graph = session.spec.build(batch)
+        kernels = session._iteration_kernels(graph)
+        sync_count = sum(1 for k in kernels if k.host_sync)
+        dispatch = framework.dispatch_cost_s * len(kernels)
+        sync = framework.sync_latency_s * sync_count
+
+        pipeline_samples = max(1, int(batch * session.spec.pipeline_cost_scale))
+        pipeline = DataPipelineModel(get_dataset(session.spec.dataset)).cost(
+            pipeline_samples, framework
+        )
+        host_stage = session.spec.host_cpu_cost(framework.key)
+        environment = session.spec.env_cpu_core_seconds_per_sample * batch
+        return CPUSample(
+            dispatch_s=dispatch,
+            sync_s=sync,
+            frontend_s=framework.frontend_cost_s,
+            pipeline_s=pipeline.cpu_core_seconds,
+            host_stage_s=host_stage,
+            environment_s=environment,
+            iteration_time_s=profile.iteration_time_s,
+            core_count=session.cpu.core_count,
+        )

@@ -1,0 +1,145 @@
+"""Measurement statistics for sampled training runs.
+
+The paper (a Sigmetrics-community submission) samples 50-1000 stable-phase
+iterations and reports point estimates; this module supplies the rigor
+around those estimates: summary statistics, normal-theory and bootstrap
+confidence intervals for mean throughput, and a two-sample comparison test
+for "is framework A really faster than framework B" questions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary of one sampled measurement series."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        return self.std / self.mean if self.mean else float("inf")
+
+    @property
+    def ci_half_width_fraction(self) -> float:
+        """CI half-width relative to the mean (reporting precision)."""
+        return (self.ci_high - self.ci_low) / (2.0 * self.mean) if self.mean else 0.0
+
+
+def _z_value(confidence: float) -> float:
+    """Two-sided normal quantile for common confidence levels."""
+    table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    if confidence not in table:
+        raise ValueError(f"supported confidence levels: {sorted(table)}")
+    return table[confidence]
+
+
+def summarize(samples, confidence: float = 0.95) -> SampleSummary:
+    """Normal-theory summary of a sample series.
+
+    Raises:
+        ValueError: for fewer than 2 samples.
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least 2 samples")
+    mean = float(data.mean())
+    std = float(data.std(ddof=1))
+    half = _z_value(confidence) * std / math.sqrt(data.size)
+    return SampleSummary(
+        count=int(data.size),
+        mean=mean,
+        std=std,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        ci_low=mean - half,
+        ci_high=mean + half,
+        confidence=confidence,
+    )
+
+
+def bootstrap_ci(
+    samples, confidence: float = 0.95, resamples: int = 2000, seed: int = 0
+) -> tuple:
+    """Percentile-bootstrap confidence interval for the mean — robust to
+    the skew that warm-up leakage introduces into iteration-time samples."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size < 2:
+        raise ValueError("need at least 2 samples")
+    if resamples <= 0:
+        raise ValueError("resamples must be positive")
+    rng = np.random.default_rng(seed)
+    means = rng.choice(data, size=(resamples, data.size), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def required_sample_count(
+    pilot_samples, relative_precision: float = 0.02, confidence: float = 0.95
+) -> int:
+    """How many iterations must be sampled for the mean's CI half-width to
+    reach ``relative_precision`` of the mean — the principled answer to the
+    paper's 50-1000-iteration rule of thumb."""
+    if relative_precision <= 0:
+        raise ValueError("precision must be positive")
+    summary = summarize(pilot_samples, confidence)
+    z = _z_value(confidence)
+    needed = (z * summary.coefficient_of_variation / relative_precision) ** 2
+    return max(2, int(math.ceil(needed)))
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of a two-sample mean comparison (Welch)."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    significant: bool
+    faster: str
+
+
+def compare(
+    samples_a, samples_b, labels=("A", "B"), confidence: float = 0.95
+) -> ComparisonResult:
+    """Is one measurement series reliably larger than the other?
+
+    Uses Welch's normal-approximation interval on the difference of means;
+    "significant" means the interval excludes zero.
+    """
+    a = np.asarray(list(samples_a), dtype=float)
+    b = np.asarray(list(samples_b), dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need at least 2 samples per side")
+    difference = float(a.mean() - b.mean())
+    half = _z_value(confidence) * math.sqrt(
+        a.var(ddof=1) / a.size + b.var(ddof=1) / b.size
+    )
+    low, high = difference - half, difference + half
+    significant = low > 0 or high < 0
+    if not significant:
+        faster = "indistinguishable"
+    else:
+        faster = labels[0] if difference > 0 else labels[1]
+    return ComparisonResult(
+        mean_difference=difference,
+        ci_low=low,
+        ci_high=high,
+        significant=significant,
+        faster=faster,
+    )

@@ -1,0 +1,53 @@
+"""A real reverse-mode automatic-differentiation engine over numpy.
+
+This is the repository's genuine training substrate: while
+:mod:`repro.training` *simulates* full-scale runs for performance analysis,
+this package actually trains miniature versions of the suite's model
+families end to end (tiny ResNet, tiny seq2seq, tiny GAN, tiny
+actor-critic) — the tests assert real loss decrease and accuracy on the
+synthetic datasets, and the memory instrumentation validates the paper's
+five-way allocation taxonomy against real allocations.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor import functional
+from repro.tensor.layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Embedding,
+    GRUCell,
+    LayerNorm,
+    LSTMCell,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.tensor.optim import SGD, Adam, Optimizer
+from repro.tensor.train import Trainer
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Dense",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "Embedding",
+    "LSTMCell",
+    "GRUCell",
+    "LayerNorm",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Trainer",
+    "Optimizer",
+    "SGD",
+    "Adam",
+]

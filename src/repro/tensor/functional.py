@@ -1,0 +1,213 @@
+"""Neural-network operations built on :class:`~repro.tensor.tensor.Tensor`.
+
+Convolution and pooling use im2col lowering — the same lowering the
+simulated cuDNN "gemm" algorithm models — so the real engine and the
+performance model agree about what the computation *is*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def _im2col(data: np.ndarray, kernel: int, stride: int, padding: int):
+    """Lower NCHW input to (batch, out_h, out_w, c*k*k) patches."""
+    batch, channels, height, width = data.shape
+    if padding:
+        data = np.pad(
+            data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    strides = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(columns), out_h, out_w
+
+
+def _col2im(columns, input_shape, kernel: int, stride: int, padding: int):
+    """Scatter (batch, out_h, out_w, c*k*k) patch gradients back to NCHW."""
+    batch, channels, height, width = input_shape
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=np.float32,
+    )
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    reshaped = columns.reshape(batch, out_h, out_w, channels, kernel, kernel)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            padded[
+                :,
+                :,
+                ky : ky + out_h * stride : stride,
+                kx : kx + out_w * stride : stride,
+            ] += reshaped[:, :, :, :, ky, kx].transpose(0, 3, 1, 2)
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias=None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution, NCHW layout; ``weight`` is (out_c, in_c, k, k)."""
+    out_c, in_c, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if x.shape[1] != in_c:
+        raise ValueError(
+            f"input channels {x.shape[1]} do not match weight {in_c}"
+        )
+    columns, out_h, out_w = _im2col(x.data, kernel, stride, padding)
+    flat_w = weight.data.reshape(out_c, -1)
+    out_data = columns @ flat_w.T  # (b, oh, ow, out_c)
+    out_data = out_data.transpose(0, 3, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(gradient):
+        grad_out = gradient.transpose(0, 2, 3, 1)  # (b, oh, ow, out_c)
+        if weight.requires_grad:
+            grad_w = np.tensordot(grad_out, columns, axes=([0, 1, 2], [0, 1, 2]))
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if x.requires_grad:
+            grad_cols = grad_out @ flat_w  # (b, oh, ow, c*k*k)
+            x._accumulate(_col2im(grad_cols, x.shape, kernel, stride, padding))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(gradient.sum(axis=(0, 2, 3)))
+
+    return Tensor._from_op(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling, NCHW."""
+    stride = stride or kernel
+    if kernel > stride:
+        raise NotImplementedError("overlapping pooling windows are not supported")
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    view = x.data[:, :, : out_h * stride, : out_w * stride]
+    windows = view.reshape(batch, channels, out_h, stride, out_w, stride)[
+        :, :, :, :kernel, :, :kernel
+    ]
+    out_data = windows.max(axis=(3, 5))
+
+    def backward(gradient):
+        if not x.requires_grad:
+            return
+        grad_in = np.zeros_like(x.data)
+        expanded = out_data[:, :, :, None, :, None]
+        mask = windows == expanded
+        counts = np.maximum(mask.sum(axis=(3, 5), keepdims=True), 1)
+        contribution = mask * gradient[:, :, :, None, :, None] / counts
+        block = np.zeros((batch, channels, out_h, stride, out_w, stride), dtype=np.float32)
+        block[:, :, :, :kernel, :, :kernel] = contribution
+        grad_in[:, :, : out_h * stride, : out_w * stride] = block.reshape(
+            batch, channels, out_h * stride, out_w * stride
+        )
+        x._accumulate(grad_in)
+
+    return Tensor._from_op(out_data, (x,), backward)
+
+
+def avg_pool2d_global(x: Tensor) -> Tensor:
+    """Global average pooling to (batch, channels)."""
+    return x.mean(axis=3).mean(axis=2)
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    eps: float = 1e-5,
+    axes=(0,),
+) -> Tensor:
+    """Batch normalization over ``axes`` using graph primitives (its
+    backward composes automatically — and is exactly the multi-pass,
+    bandwidth-bound computation the kernel model charges for)."""
+    mean = x.mean(axis=axes[0], keepdims=True)
+    for axis in axes[1:]:
+        mean = mean.mean(axis=axis, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=axes[0], keepdims=True)
+    for axis in axes[1:]:
+        var = var.mean(axis=axis, keepdims=True)
+    inv_std = (var + eps) ** -0.5
+    return centered * inv_std * gamma + beta
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    if not training or rate == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= rate).astype(np.float32) / (1.0 - rate)
+    return x * Tensor(mask)
+
+
+def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
+    """Row gather with scatter-add backward."""
+    ids = np.asarray(ids)
+
+    def backward(gradient):
+        if table.requires_grad:
+            full = np.zeros_like(table.data)
+            np.add.at(full, ids.reshape(-1), gradient.reshape(-1, table.shape[1]))
+            table._accumulate(full)
+
+    return Tensor._from_op(table.data[ids], (table,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax (via log-softmax)."""
+    return log_softmax(x, axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy with integer targets."""
+    targets = np.asarray(targets).reshape(-1)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects (batch, classes) logits")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("target count does not match batch")
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()
+
+
+def mse(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Top-1 accuracy of (batch, classes) logits."""
+    predictions = logits.data.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,323 @@
+"""Layer modules for the real autodiff engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, concatenate
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, call protocol."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> list:
+        """All trainable tensors, depth-first and deduplicated."""
+        found: list = []
+        seen = set()
+
+        def collect(obj) -> None:
+            if isinstance(obj, Tensor):
+                if obj.requires_grad and id(obj) not in seen:
+                    seen.add(id(obj))
+                    found.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    collect(value)
+            elif isinstance(obj, (list, tuple)):
+                for item in obj:
+                    collect(item)
+            elif isinstance(obj, dict):
+                for item in obj.values():
+                    collect(item)
+
+        collect(self)
+        return found
+
+    def parameter_count(self) -> int:
+        """Total trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch to training mode (dropout active)."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode (dropout off)."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError
+
+
+def _kaiming(rng: np.random.Generator, shape, fan_in: int) -> np.ndarray:
+    scale = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, scale, size=shape).astype(np.float32)
+
+
+class Dense(Module):
+    """Fully-connected layer."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Tensor(
+            _kaiming(rng, (in_features, out_features), in_features),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features, dtype=np.float32), requires_grad=True, name="bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution (square kernels, NCHW)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        self.stride = stride
+        self.padding = padding
+        self.weight = Tensor(
+            _kaiming(rng, (out_channels, in_channels, kernel, kernel), fan_in),
+            requires_grad=True,
+            name="weight",
+        )
+        self.bias = (
+            Tensor(np.zeros(out_channels, dtype=np.float32), requires_grad=True, name="bias")
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the batch axis of (batch, features)."""
+
+    def __init__(self, features: int):
+        super().__init__()
+        self.gamma = Tensor(np.ones(features, dtype=np.float32), requires_grad=True, name="gamma")
+        self.beta = Tensor(np.zeros(features, dtype=np.float32), requires_grad=True, name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        return F.batch_norm(x, self.gamma, self.beta, axes=(0,))
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over NCHW."""
+
+    def __init__(self, channels: int):
+        super().__init__()
+        self.gamma = Tensor(
+            np.ones((1, channels, 1, 1), dtype=np.float32), requires_grad=True, name="gamma"
+        )
+        self.beta = Tensor(
+            np.zeros((1, channels, 1, 1), dtype=np.float32), requires_grad=True, name="beta"
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        return F.batch_norm(x, self.gamma, self.beta, axes=(0, 2, 3))
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        return x.relu()
+
+
+class Dropout(Module):
+    """Inverted dropout with its own RNG stream."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        super().__init__()
+        self.rate = rate
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        return F.dropout(x, self.rate, self._rng, training=self.training)
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, vocab: int, dim: int, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.table = Tensor(
+            rng.normal(0.0, 0.1, size=(vocab, dim)).astype(np.float32),
+            requires_grad=True,
+            name="embedding",
+        )
+
+    def forward(self, ids) -> Tensor:
+        """Apply the layer."""
+        return F.embedding(self.table, np.asarray(ids))
+
+
+class LSTMCell(Module):
+    """A single LSTM cell over concatenated ``[input, hidden]`` — the exact
+    lowering the simulator's recurrent layers charge for."""
+
+    def __init__(self, input_size: int, hidden: int, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        k_dim = input_size + hidden
+        self.hidden = hidden
+        self.weight = Tensor(
+            _kaiming(rng, (k_dim, 4 * hidden), k_dim), requires_grad=True, name="lstm_w"
+        )
+        self.bias = Tensor(
+            np.zeros(4 * hidden, dtype=np.float32), requires_grad=True, name="lstm_b"
+        )
+
+    def forward(self, x: Tensor, state: tuple) -> tuple:
+        """One step; ``state`` is ``(h, c)``; returns ``(h, c)``."""
+        h, c = state
+        gates = concatenate([x, h], axis=1) @ self.weight + self.bias
+        size = self.hidden
+        i = gates[:, 0 * size : 1 * size].sigmoid()
+        f = gates[:, 1 * size : 2 * size].sigmoid()
+        o = gates[:, 2 * size : 3 * size].sigmoid()
+        g = gates[:, 3 * size : 4 * size].tanh()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> tuple:
+        """Zero (h, c) state for a batch."""
+        zeros = np.zeros((batch, self.hidden), dtype=np.float32)
+        return Tensor(zeros), Tensor(zeros)
+
+
+class GRUCell(Module):
+    """A single GRU cell (3 gates) over concatenated ``[input, hidden]``."""
+
+    def __init__(self, input_size: int, hidden: int, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        k_dim = input_size + hidden
+        self.hidden = hidden
+        self.gate_weight = Tensor(
+            _kaiming(rng, (k_dim, 2 * hidden), k_dim), requires_grad=True, name="gru_gates_w"
+        )
+        self.gate_bias = Tensor(
+            np.zeros(2 * hidden, dtype=np.float32), requires_grad=True, name="gru_gates_b"
+        )
+        self.candidate_weight = Tensor(
+            _kaiming(rng, (k_dim, hidden), k_dim), requires_grad=True, name="gru_cand_w"
+        )
+        self.candidate_bias = Tensor(
+            np.zeros(hidden, dtype=np.float32), requires_grad=True, name="gru_cand_b"
+        )
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step; returns the new hidden state."""
+        size = self.hidden
+        gates = concatenate([x, h], axis=1) @ self.gate_weight + self.gate_bias
+        reset = gates[:, :size].sigmoid()
+        update = gates[:, size:].sigmoid()
+        candidate = (
+            concatenate([x, reset * h], axis=1) @ self.candidate_weight
+            + self.candidate_bias
+        ).tanh()
+        return update * h + (1.0 - update) * candidate
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero hidden state for a batch."""
+        return Tensor(np.zeros((batch, self.hidden), dtype=np.float32))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis (Transformer blocks)."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Tensor(np.ones(features, dtype=np.float32), requires_grad=True, name="ln_gamma")
+        self.beta = Tensor(np.zeros(features, dtype=np.float32), requires_grad=True, name="ln_beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        return centered * ((variance + self.eps) ** -0.5) * self.gamma + self.beta
+
+
+class MaxPool2d(Module):
+    """Max pooling module (square, non-overlapping windows)."""
+
+    def __init__(self, kernel: int = 2, stride: int | None = None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        return F.max_pool2d(x, self.kernel, self.stride)
+
+
+class Sequential(Module):
+    """Chain of modules."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the layer."""
+        for module in self.modules:
+            x = module(x)
+        return x

@@ -1,0 +1,175 @@
+"""Miniature, genuinely trainable versions of the suite's model families.
+
+Full-scale training of the eight TBD models is a multi-GPU-day affair the
+simulator handles; these miniatures exercise the *same layer types* (conv +
+BN + residual, LSTM encoder-decoder, generator/critic pair, actor-critic
+heads) through the real autodiff engine, so the repository demonstrates
+actual gradient descent end to end on every family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    Embedding,
+    LSTMCell,
+    Module,
+)
+from repro.tensor.tensor import Tensor, stack
+
+
+class TinyResNet(Module):
+    """Conv -> BN -> ReLU -> residual block -> global pool -> classifier;
+    the ResNet-50 family in miniature (image classification)."""
+
+    def __init__(self, channels: int = 8, classes: int = 10, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = Conv2d(in_channels, channels, 3, padding=1, rng=rng)
+        self.stem_bn = BatchNorm2d(channels)
+        self.block_conv1 = Conv2d(channels, channels, 3, padding=1, rng=rng)
+        self.block_bn1 = BatchNorm2d(channels)
+        self.block_conv2 = Conv2d(channels, channels, 3, padding=1, rng=rng)
+        self.block_bn2 = BatchNorm2d(channels)
+        self.classifier = Dense(channels, classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the model forward."""
+        x = self.stem_bn(self.stem(x)).relu()
+        residual = x
+        x = self.block_bn1(self.block_conv1(x)).relu()
+        x = self.block_bn2(self.block_conv2(x))
+        x = (x + residual).relu()
+        x = F.avg_pool2d_global(x)
+        return self.classifier(x)
+
+
+class TinySeq2Seq(Module):
+    """Embedding -> LSTM encoder -> LSTM decoder -> vocabulary projection;
+    the NMT/Sockeye family in miniature (machine translation)."""
+
+    def __init__(self, vocab: int = 40, embed: int = 16, hidden: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab = vocab
+        self.embedding = Embedding(vocab, embed, rng=rng)
+        self.encoder = LSTMCell(embed, hidden, rng=rng)
+        self.decoder = LSTMCell(embed, hidden, rng=rng)
+        self.projection = Dense(hidden, vocab, rng=rng)
+
+    def forward(self, source: np.ndarray, target_in: np.ndarray) -> Tensor:
+        """Teacher-forced forward; returns (batch, seq, vocab) logits."""
+        batch, src_len = source.shape
+        state = self.encoder.initial_state(batch)
+        embedded = self.embedding(source)
+        for step in range(src_len):
+            state = self.encoder(embedded[:, step, :], state)
+        logits = []
+        embedded_target = self.embedding(target_in)
+        for step in range(target_in.shape[1]):
+            state = self.decoder(embedded_target[:, step, :], state)
+            logits.append(self.projection(state[0]))
+        return stack(logits, axis=1)
+
+    def loss(self, source, target_in, target_out) -> Tensor:
+        """Teacher-forced cross-entropy over the target sequence."""
+        logits = self.forward(source, target_in)
+        flat = logits.reshape(-1, self.vocab)
+        return F.cross_entropy(flat, np.asarray(target_out).reshape(-1))
+
+
+class TinyGenerator(Module):
+    """Latent -> image generator (the WGAN family's G, in miniature)."""
+
+    def __init__(self, latent: int = 8, image_elements: int = 64, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Dense(latent, 32, rng=rng)
+        self.fc2 = Dense(32, image_elements, rng=rng)
+
+    def forward(self, z: Tensor) -> Tensor:
+        """Run the model forward."""
+        return self.fc2(self.fc1(z).relu()).tanh()
+
+
+class TinyCritic(Module):
+    """Image -> scalar Wasserstein score (the WGAN family's critic)."""
+
+    def __init__(self, image_elements: int = 64, seed: int = 1):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Dense(image_elements, 32, rng=rng)
+        self.fc2 = Dense(32, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Run the model forward."""
+        return self.fc2(self.fc1(x).relu())
+
+
+class TinyTransformer(Module):
+    """Embedding -> Transformer encoder blocks -> token classifier; the
+    Transformer family in miniature.  Its attention runs as real batched
+    matmuls — the layer-type contrast with :class:`TinySeq2Seq` that the
+    paper's Observation 5 is about."""
+
+    def __init__(
+        self,
+        vocab: int = 30,
+        model_dim: int = 16,
+        heads: int = 4,
+        ffn_dim: int = 32,
+        blocks: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        from repro.tensor.attention import TransformerBlock
+        from repro.tensor.layers import Dense, Embedding
+
+        rng = np.random.default_rng(seed)
+        self.vocab = vocab
+        self.embedding = Embedding(vocab, model_dim, rng=rng)
+        self.blocks = [
+            TransformerBlock(model_dim, heads, ffn_dim, rng=rng)
+            for _ in range(blocks)
+        ]
+        self.head = Dense(model_dim, vocab, rng=rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Run the model forward."""
+        x = self.embedding(np.asarray(tokens))
+        for block in self.blocks:
+            x = block(x)
+        batch, seq, dim = x.shape
+        return self.head(x.reshape(-1, dim)).reshape(batch, seq, self.vocab)
+
+    def loss(self, tokens, targets) -> Tensor:
+        """Per-token cross-entropy for the sequence task."""
+        logits = self.forward(tokens)
+        return F.cross_entropy(
+            logits.reshape(-1, self.vocab), np.asarray(targets).reshape(-1)
+        )
+
+
+class TinyActorCritic(Module):
+    """Conv -> FC -> policy + value heads; the A3C family in miniature."""
+
+    def __init__(self, frame_stack: int = 2, frame: int = 12, actions: int = 4, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv = Conv2d(frame_stack, 8, 3, stride=2, padding=1, rng=rng)
+        flat = 8 * ((frame + 1) // 2) ** 2
+        self.fc = Dense(flat, 32, rng=rng)
+        self.policy = Dense(32, actions, rng=rng)
+        self.value = Dense(32, 1, rng=rng)
+
+    def forward(self, frames: Tensor) -> tuple:
+        """Run the model forward."""
+        x = self.conv(frames).relu()
+        x = x.reshape(x.shape[0], -1)
+        x = self.fc(x).relu()
+        return self.policy(x), self.value(x)

@@ -1,0 +1,390 @@
+"""The :class:`Tensor` type: numpy arrays with reverse-mode autodiff.
+
+The design is the classic tape-free dynamic graph: every operation records
+its parents and a closure that accumulates gradients into them;
+``backward()`` runs the closures in reverse topological order.  Broadcasting
+is fully supported — gradients are summed back over broadcast axes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Disable graph recording (inference / target networks)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``gradient`` back down to ``shape`` (reverse of broadcasting)."""
+    if gradient.shape == shape:
+        return gradient
+    # Sum leading axes added by broadcasting.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum axes broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents = ()
+        self._backward = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_op(cls, data, parents, backward) -> "Tensor":
+        out = cls(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, grad={self.requires_grad}{label})"
+
+    def item(self) -> float:
+        """The scalar value of a one-element tensor."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view with the graph cut (no gradient flows back)."""
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        """Drop the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # autodiff driver
+    # ------------------------------------------------------------------
+
+    def backward(self, gradient=None) -> None:
+        """Backpropagate from this tensor.
+
+        Raises:
+            RuntimeError: if called on a non-scalar without ``gradient`` or
+                on a tensor that does not require grad.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("tensor does not require grad")
+        if gradient is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() on non-scalar needs a gradient")
+            gradient = np.ones_like(self.data)
+        self.grad = np.asarray(gradient, dtype=np.float32)
+
+        order: list = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            order.append(node)
+
+        visit(self)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Free the closure so the graph can be collected.
+                node._backward = None
+                node._parents = ()
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float32), self.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad += gradient
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient)
+            if other.requires_grad:
+                other._accumulate(gradient)
+
+        return Tensor._from_op(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(-gradient)
+
+        return Tensor._from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient * other.data)
+            if other.requires_grad:
+                other._accumulate(gradient * self.data)
+
+        return Tensor._from_op(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient / other.data)
+            if other.requires_grad:
+                other._accumulate(-gradient * self.data / (other.data**2))
+
+        return Tensor._from_op(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient * exponent * self.data ** (exponent - 1))
+
+        return Tensor._from_op(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ gradient)
+
+        return Tensor._from_op(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        """Differentiable reshape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient.reshape(original))
+
+        return Tensor._from_op(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Differentiable transpose (reversed axes by default)."""
+        axes = axes or tuple(reversed(range(self.ndim)))
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient.transpose(inverse))
+
+        return Tensor._from_op(self.data.transpose(axes), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(gradient):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, gradient)
+                self._accumulate(full)
+
+        return Tensor._from_op(self.data[index], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions and pointwise functions
+    # ------------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Differentiable sum reduction."""
+        def backward(gradient):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(gradient)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape))
+
+        return Tensor._from_op(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Differentiable mean reduction."""
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Differentiable max (gradient split among ties)."""
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(gradient):
+            if not self.requires_grad:
+                return
+            grad = np.asarray(gradient)
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded).astype(np.float32)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        out_data = np.exp(self.data)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient * out_data)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient / self.data)
+
+        return Tensor._from_op(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        return self**0.5
+
+    def relu(self) -> "Tensor":
+        """Elementwise ReLU."""
+        mask = (self.data > 0).astype(np.float32)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient * mask)
+
+        return Tensor._from_op(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient * out_data * (1.0 - out_data))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        out_data = np.tanh(self.data)
+
+        def backward(gradient):
+            if self.requires_grad:
+                self._accumulate(gradient * (1.0 - out_data**2))
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+
+def concatenate(tensors, axis: int = 0) -> Tensor:
+    """Differentiable concatenation."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(gradient):
+        pieces = np.split(gradient, splits, axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(piece)
+
+    return Tensor._from_op(
+        np.concatenate([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Differentiable stacking along a new axis."""
+    tensors = [Tensor._lift(t) for t in tensors]
+
+    def backward(gradient):
+        pieces = np.split(gradient, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._from_op(
+        np.stack([t.data for t in tensors], axis=axis), tuple(tensors), backward
+    )

@@ -1,0 +1,258 @@
+"""Training-loop utilities for the real autodiff engine: learning-rate
+schedules, gradient clipping, a Trainer with history/early-stopping, and
+parameter checkpointing.
+
+These mirror the knobs the paper's Section 3.4.1 comparability rule talks
+about (learning rate, momentum, schedules) so the real and simulated halves
+of the repository share one vocabulary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.layers import Module
+from repro.tensor.optim import Optimizer
+from repro.tensor.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# learning-rate schedules (the `lr_schedule` values of Hyperparameters)
+# ----------------------------------------------------------------------
+
+
+class Schedule:
+    """Base learning-rate schedule: maps step -> multiplier."""
+
+    def multiplier(self, step: int) -> float:  # pragma: no cover - abstract
+        """Learning-rate multiplier at ``step``; subclasses override."""
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, base_learning_rate: float, step: int) -> float:
+        """Set the optimizer's rate for ``step``; returns the applied rate."""
+        rate = base_learning_rate * self.multiplier(step)
+        optimizer.learning_rate = rate
+        return rate
+
+
+class ConstantSchedule(Schedule):
+    def multiplier(self, step: int) -> float:
+        """Constant multiplier of 1."""
+        return 1.0
+
+
+class StepDecaySchedule(Schedule):
+    """Multiply by ``gamma`` every ``period`` steps (ImageNet-style)."""
+
+    def __init__(self, period: int, gamma: float = 0.1):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.period = period
+        self.gamma = gamma
+
+    def multiplier(self, step: int) -> float:
+        """Decayed multiplier for ``step``."""
+        return self.gamma ** (step // self.period)
+
+
+class InverseSqrtSchedule(Schedule):
+    """Transformer warm-up then inverse-sqrt decay (Vaswani et al.)."""
+
+    def __init__(self, warmup_steps: int = 400):
+        if warmup_steps <= 0:
+            raise ValueError("warmup must be positive")
+        self.warmup_steps = warmup_steps
+
+    def multiplier(self, step: int) -> float:
+        """Warm-up then inverse-sqrt multiplier for ``step``."""
+        step = max(1, step)
+        return min(
+            step / (self.warmup_steps * math.sqrt(self.warmup_steps)),
+            1.0 / math.sqrt(step),
+        ) * math.sqrt(self.warmup_steps)
+
+
+def make_schedule(name: str, **kwargs) -> Schedule:
+    """Schedule factory keyed by Hyperparameters.lr_schedule values."""
+    factories = {
+        "constant": ConstantSchedule,
+        "step": lambda: StepDecaySchedule(kwargs.pop("period", 1000), kwargs.pop("gamma", 0.1)),
+        "inverse_sqrt": lambda: InverseSqrtSchedule(kwargs.pop("warmup_steps", 400)),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown schedule {name!r}; known: {sorted(factories)}")
+    return factories[name]()
+
+
+# ----------------------------------------------------------------------
+# gradient clipping
+# ----------------------------------------------------------------------
+
+
+def global_gradient_norm(parameters) -> float:
+    """L2 norm over all parameter gradients (zeros for missing grads)."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float((parameter.grad**2).sum())
+    return math.sqrt(total)
+
+
+def clip_gradients(parameters, max_norm: float) -> float:
+    """Scale gradients so the global norm is at most ``max_norm``; returns
+    the pre-clip norm (the RNN-training stabilizer every Seq2Seq
+    implementation in the paper uses)."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_gradient_norm(parameters)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad *= scale
+    return norm
+
+
+# ----------------------------------------------------------------------
+# the Trainer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TrainingHistory:
+    """Per-step records of one training run."""
+
+    losses: list = field(default_factory=list)
+    learning_rates: list = field(default_factory=list)
+    gradient_norms: list = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return len(self.losses)
+
+    def smoothed_loss(self, window: int = 10) -> float:
+        """Mean loss over the trailing window."""
+        if not self.losses:
+            raise ValueError("no steps recorded")
+        return float(np.mean(self.losses[-window:]))
+
+
+class Trainer:
+    """A minimal fit loop: batches from a callable, schedule, clipping,
+    early stopping on loss plateau."""
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        loss_fn,
+        schedule: Schedule | None = None,
+        clip_norm: float | None = None,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.loss_fn = loss_fn
+        self.schedule = schedule or ConstantSchedule()
+        self.clip_norm = clip_norm
+        self.base_learning_rate = optimizer.learning_rate
+        self.history = TrainingHistory()
+
+    def step(self, batch) -> float:
+        """One optimization step on ``batch`` (passed to ``loss_fn`` with
+        the model); returns the loss value."""
+        rate = self.schedule.apply(
+            self.optimizer, self.base_learning_rate, self.history.steps
+        )
+        loss = self.loss_fn(self.model, batch)
+        if not isinstance(loss, Tensor):
+            raise TypeError("loss_fn must return a Tensor")
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.clip_norm is not None:
+            norm = clip_gradients(self.optimizer.parameters, self.clip_norm)
+        else:
+            norm = global_gradient_norm(self.optimizer.parameters)
+        self.optimizer.step()
+        self.history.losses.append(loss.item())
+        self.history.learning_rates.append(rate)
+        self.history.gradient_norms.append(norm)
+        return loss.item()
+
+    def fit(
+        self,
+        batch_source,
+        steps: int,
+        patience: int | None = None,
+        min_improvement: float = 1e-3,
+    ) -> TrainingHistory:
+        """Run up to ``steps`` optimization steps.
+
+        Args:
+            batch_source: callable ``(step) -> batch``.
+            patience: stop early if the smoothed loss has not improved by
+                ``min_improvement`` for this many steps.
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        best = float("inf")
+        since_best = 0
+        for step in range(steps):
+            self.step(batch_source(step))
+            current = self.history.smoothed_loss()
+            if current < best - min_improvement:
+                best = current
+                since_best = 0
+            else:
+                since_best += 1
+            if patience is not None and since_best >= patience:
+                break
+        return self.history
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+
+
+def state_dict(model: Module) -> dict:
+    """Ordered parameter arrays keyed by index and name."""
+    return {
+        f"{index:04d}:{parameter.name or 'param'}": parameter.data.copy()
+        for index, parameter in enumerate(model.parameters())
+    }
+
+
+def load_state_dict(model: Module, state: dict) -> None:
+    """Restore parameters saved by :func:`state_dict`.
+
+    Raises:
+        ValueError: on count or shape mismatches.
+    """
+    parameters = model.parameters()
+    if len(parameters) != len(state):
+        raise ValueError(
+            f"checkpoint has {len(state)} tensors, model has {len(parameters)}"
+        )
+    for (key, value), parameter in zip(sorted(state.items()), parameters):
+        if value.shape != parameter.data.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: checkpoint {value.shape} vs "
+                f"model {parameter.data.shape}"
+            )
+        parameter.data = value.astype(np.float32).copy()
+
+
+def save_checkpoint(model: Module, path: str) -> None:
+    """Serialize parameters to an ``.npz`` file."""
+    np.savez(path, **state_dict(model))
+
+
+def load_checkpoint(model: Module, path: str) -> None:
+    """Restore parameters from :func:`save_checkpoint` output."""
+    with np.load(path) as data:
+        load_state_dict(model, dict(data.items()))

@@ -1,0 +1,13 @@
+"""Simulated training execution: sessions, iterations, convergence curves."""
+
+from repro.training.session import IterationProfile, TrainingSession
+from repro.training.hyperparams import Hyperparameters
+from repro.training.convergence import ConvergenceModel, training_curve
+
+__all__ = [
+    "TrainingSession",
+    "IterationProfile",
+    "Hyperparameters",
+    "ConvergenceModel",
+    "training_curve",
+]

@@ -1,0 +1,179 @@
+"""Convergence-curve models for Fig. 2 (accuracy over training time).
+
+The paper validates the suite by training every model to the accuracy the
+literature reports (Section 3.3).  We reproduce the *curves* with
+calibrated learning-curve models whose time axis is driven by the simulated
+throughput: given a model's samples/second on the chosen hardware, the
+curve maps "samples seen" to the model's evaluation metric using the
+standard saturating power-law shape of SGD training,
+
+    metric(n) = final - (final - initial) * (1 + n / n_half)**(-gamma)
+
+with per-model (final, n_half, gamma) fitted to the end points and
+time-to-accuracy the paper reports.  Game-score curves (A3C) use a logistic
+ramp instead, matching the plateau-then-jump shape of Pong learning curves.
+
+This is a documented substitution (DESIGN.md): the *real* gradient-descent
+machinery lives in :mod:`repro.tensor` and is exercised on miniature
+versions of each model family by the test suite; these calibrated curves
+exist to regenerate Fig. 2's full-scale axes without 20 GPU-days.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConvergenceModel:
+    """A calibrated accuracy-vs-samples curve.
+
+    Attributes:
+        metric_name: "top-1 accuracy", "BLEU", "game score"…
+        initial: metric value at step 0.
+        final: asymptotic metric value (matches the literature).
+        samples_to_half: samples seen when half the gap is closed.
+        gamma: power-law sharpness.
+        logistic: use a logistic ramp (RL game scores) instead of the
+            power law.
+    """
+
+    metric_name: str
+    initial: float
+    final: float
+    samples_to_half: float
+    gamma: float = 1.0
+    logistic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.samples_to_half <= 0:
+            raise ValueError("samples_to_half must be positive")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def value_at(self, samples_seen: float) -> float:
+        """Metric after ``samples_seen`` training samples."""
+        if samples_seen < 0:
+            raise ValueError("samples_seen cannot be negative")
+        if self.logistic:
+            # Logistic in log-samples, centred at samples_to_half.
+            if samples_seen == 0:
+                return self.initial
+            x = math.log(samples_seen / self.samples_to_half)
+            fraction = 1.0 / (1.0 + math.exp(-2.8 * x))
+        else:
+            fraction = 1.0 - (1.0 + samples_seen / self.samples_to_half) ** (
+                -self.gamma
+            )
+        return self.initial + (self.final - self.initial) * fraction
+
+
+#: Calibrated curves for the five models Fig. 2 plots.  Final metrics match
+#: Section 3.3: ~75-80% top-1 for the image models, BLEU ~20 for Seq2Seq,
+#: BLEU ~24 for Transformer (its panel reaches the mid-20s), Pong 19-20.
+FIG2_MODELS = {
+    "inception-v3": ConvergenceModel(
+        metric_name="top-1 accuracy (%)",
+        initial=0.1,
+        final=78.0,
+        samples_to_half=6.0e6,
+        gamma=1.15,
+    ),
+    "resnet-50": ConvergenceModel(
+        metric_name="top-1 accuracy (%)",
+        initial=0.1,
+        final=76.0,
+        samples_to_half=5.0e6,
+        gamma=1.15,
+    ),
+    "transformer": ConvergenceModel(
+        metric_name="BLEU",
+        initial=0.0,
+        final=24.0,
+        samples_to_half=9.0e6,  # tokens
+        gamma=1.1,
+    ),
+    "nmt": ConvergenceModel(
+        metric_name="BLEU",
+        initial=0.0,
+        final=20.0,
+        samples_to_half=3.0e5,
+        gamma=1.2,
+    ),
+    "sockeye": ConvergenceModel(
+        metric_name="BLEU",
+        initial=0.0,
+        final=20.5,
+        samples_to_half=3.0e5,
+        gamma=1.2,
+    ),
+    "a3c": ConvergenceModel(
+        metric_name="game score (Pong)",
+        initial=-21.0,
+        final=19.5,
+        samples_to_half=1.5e6,
+        logistic=True,
+    ),
+}
+
+
+def training_curve(
+    model_key: str,
+    throughput_samples_per_s: float,
+    duration_s: float,
+    points: int = 64,
+) -> tuple:
+    """Generate Fig. 2-style ``(time_s, metric)`` arrays.
+
+    Args:
+        model_key: one of :data:`FIG2_MODELS`.
+        throughput_samples_per_s: simulated stable-phase throughput.
+        duration_s: wall-clock training time to cover.
+        points: curve resolution.
+
+    Returns:
+        ``(times, values)`` numpy arrays of length ``points``.
+    """
+    if model_key not in FIG2_MODELS:
+        known = ", ".join(sorted(FIG2_MODELS))
+        raise KeyError(f"no convergence model for {model_key!r}; known: {known}")
+    if throughput_samples_per_s <= 0 or duration_s <= 0:
+        raise ValueError("throughput and duration must be positive")
+    model = FIG2_MODELS[model_key]
+    times = np.linspace(0.0, duration_s, points)
+    values = np.array(
+        [model.value_at(t * throughput_samples_per_s) for t in times]
+    )
+    return times, values
+
+
+def time_to_metric(
+    model_key: str, throughput_samples_per_s: float, target: float
+) -> float:
+    """Wall-clock seconds until the curve reaches ``target`` (bisection).
+
+    Raises:
+        ValueError: if the target exceeds the curve's asymptote.
+    """
+    model = FIG2_MODELS[model_key]
+    lo, hi = model.initial, model.final
+    if not (min(lo, hi) <= target <= max(lo, hi)):
+        raise ValueError(
+            f"target {target} outside achievable range [{lo}, {hi}] "
+            f"for {model_key}"
+        )
+    low, high = 0.0, 1.0
+    while model.value_at(high * throughput_samples_per_s) < target:
+        high *= 2.0
+        if high > 1e12:
+            raise ValueError(f"target {target} unreachable for {model_key}")
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if model.value_at(mid * throughput_samples_per_s) < target:
+            low = mid
+        else:
+            high = mid
+    return high

@@ -1,0 +1,299 @@
+"""The simulated training session: executes one model iteration on one GPU
+under one framework and produces every metric the paper's toolchain reports.
+
+Execution model
+===============
+
+The CPU issues kernels one after another, each issue costing the
+framework's ``dispatch_cost_s``; the GPU executes them in stream order.  A
+kernel starts when both (a) the GPU is free and (b) the CPU has issued it:
+
+    cpu_ready += dispatch_cost
+    start      = max(gpu_free, cpu_ready)
+    gpu_free   = start + kernel_duration
+
+When kernels are long (big convolutions) the GPU never waits and compute
+utilization approaches 100%; when they are tiny and numerous (per-timestep
+RNN kernels, small batches) the dispatch+launch path dominates and the GPU
+idles between kernels — the paper's Observations 4 and 5 fall out of this
+loop directly.
+
+On top of the kernel timeline the session accounts the host-side input
+pipeline (decode/augment, partially overlapped), framework frontend work,
+model-specific host stages (Faster R-CNN proposals), and environment
+simulation (A3C's emulator), then derives the paper's Eq. 1-3 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.pipeline import DataPipelineModel
+from repro.data.registry import get_dataset
+from repro.frameworks.base import Framework, MomentumAllocation
+from repro.frameworks.registry import get_framework
+from repro.graph.layer import LayerGraph
+from repro.hardware.devices import CPUSpec, GPUSpec, QUADRO_P4000, XEON_E5_2680
+from repro.hardware.memory import AllocationTag, GPUMemoryAllocator
+from repro.hardware.roofline import RooflineModel
+import repro.kernels.misc as misc
+from repro.models.registry import ModelSpec, get_model
+
+#: Live activation-gradient working set, as a fraction of the stashed
+#: forward feature maps (gradient maps are produced and consumed during the
+#: backward pass; frameworks keep a rolling subset alive).
+GRADIENT_MAP_FACTOR = 0.10
+#: Host-side staging buffers (double-buffered input batches).
+_INPUT_STAGING_BUFFERS = 2
+
+_RECURRENT_KINDS = ("lstm", "gru", "rnn")
+
+
+@dataclass
+class IterationProfile:
+    """Everything measured about one (stable-phase) training iteration."""
+
+    model: str
+    framework: str
+    device: str
+    batch_size: int
+    iteration_time_s: float
+    gpu_busy_time_s: float
+    gpu_flops: float
+    effective_samples: float
+    cpu_core_seconds: float
+    cpu_core_count: int
+    peak_fp32_flops: float
+    kernel_timings: list = field(default_factory=list)
+    memory: object = None
+
+    @property
+    def throughput(self) -> float:
+        """Samples processed per second (paper Section 3.4.3)."""
+        return self.effective_samples / self.iteration_time_s
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Fraction of wall time the GPU is busy (paper Eq. 1)."""
+        return min(1.0, self.gpu_busy_time_s / self.iteration_time_s)
+
+    @property
+    def fp32_utilization(self) -> float:
+        """Achieved FLOP/s over peak while the GPU is active (paper Eq. 2)."""
+        if self.gpu_busy_time_s <= 0:
+            return 0.0
+        return self.gpu_flops / (self.peak_fp32_flops * self.gpu_busy_time_s)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Mean utilization across all host cores (paper Eq. 3)."""
+        return min(
+            1.0,
+            self.cpu_core_seconds / (self.cpu_core_count * self.iteration_time_s),
+        )
+
+
+class TrainingSession:
+    """Binds a model, a framework personality and a device, and simulates
+    stable-phase training iterations."""
+
+    def __init__(
+        self,
+        model,
+        framework="tensorflow",
+        gpu: GPUSpec = QUADRO_P4000,
+        cpu: CPUSpec = XEON_E5_2680,
+        check_memory: bool = True,
+    ):
+        self.spec: ModelSpec = get_model(model) if isinstance(model, str) else model
+        self.framework: Framework = get_framework(framework)
+        if not self.spec.supports(self.framework.key):
+            raise ValueError(
+                f"the paper has no {self.framework.name} implementation of "
+                f"{self.spec.display_name} (available: {self.spec.frameworks})"
+            )
+        self.gpu = gpu
+        self.cpu = cpu
+        self.check_memory = check_memory
+        self._roofline = RooflineModel(gpu)
+        self._dataset = get_dataset(self.spec.dataset)
+        self._pipeline = DataPipelineModel(self._dataset)
+
+    # ------------------------------------------------------------------
+    # kernel stream
+    # ------------------------------------------------------------------
+
+    def _iteration_kernels(self, graph: LayerGraph) -> list:
+        """The full kernel stream of one iteration: input copy, forward,
+        loss, backward, and one optimizer-update kernel per weighted layer
+        (frameworks launch per-tensor updates)."""
+        kernels = [misc.memcpy_h2d(graph.input_bytes)]
+        kernels.extend(graph.iteration_kernels())
+        for layer in graph.layers:
+            if layer.weight_elements > 0:
+                kernels.append(misc.sgd_update(layer.weight_elements, momentum=True))
+        return self.framework.specialize_kernels(kernels)
+
+    def _execute_timeline(self, timings) -> tuple:
+        """Run the CPU-dispatch / GPU-execute timeline.
+
+        Returns ``(makespan_s, gpu_busy_s, dispatch_cpu_s)``.
+        """
+        dispatch = self.framework.dispatch_cost_s
+        sync = self.framework.sync_latency_s
+        cpu_ready = self.framework.frontend_cost_s
+        gpu_free = 0.0
+        busy = 0.0
+        sync_cpu = 0.0
+        for timing in timings:
+            cpu_ready += dispatch
+            start = max(gpu_free, cpu_ready)
+            gpu_free = start + timing.duration_s
+            busy += timing.duration_s
+            if timing.kernel.host_sync:
+                # The framework waits for this result, then spends the sync
+                # latency in control-flow code before issuing anything else.
+                cpu_ready = gpu_free + sync
+                sync_cpu += sync
+        dispatch_cpu = (
+            self.framework.frontend_cost_s + dispatch * len(timings) + sync_cpu
+        )
+        return max(gpu_free, cpu_ready), busy, dispatch_cpu
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+
+    def profile_memory(self, batch_size: int) -> object:
+        """Build the graph and replay its allocations through the tagged
+        allocator; returns a :class:`~repro.hardware.memory.MemorySnapshot`.
+
+        Raises:
+            OutOfMemoryError: if the footprint exceeds GPU capacity.
+        """
+        graph = self.spec.build(batch_size)
+        allocator = GPUMemoryAllocator(
+            self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
+        )
+        self._allocate(graph, allocator)
+        return allocator.snapshot()
+
+    def _allocate(self, graph: LayerGraph, allocator: GPUMemoryAllocator) -> None:
+        """Replay one training setup + iteration's allocations."""
+        fm_factor = (1.0 + GRADIENT_MAP_FACTOR) * graph.feature_map_overallocation
+        # Static allocations, in framework order: weights, gradients, maps.
+        for layer in graph.layers:
+            if layer.weight_bytes:
+                allocator.allocate(layer.weight_bytes, AllocationTag.WEIGHTS, layer.name)
+                allocator.allocate(
+                    layer.weight_bytes, AllocationTag.WEIGHT_GRADIENTS, layer.name
+                )
+            if layer.stash_bytes:
+                allocator.allocate(
+                    layer.stash_bytes * fm_factor,
+                    AllocationTag.FEATURE_MAPS,
+                    layer.name,
+                )
+            if layer.workspace_bytes:
+                allocator.allocate(
+                    layer.workspace_bytes * self.framework.workspace_factor,
+                    AllocationTag.WORKSPACE,
+                    layer.name,
+                )
+        if graph.input_bytes:
+            allocator.allocate(
+                graph.input_bytes * _INPUT_STAGING_BUFFERS,
+                AllocationTag.FEATURE_MAPS,
+                "input staging",
+            )
+        # Optimizer state: statically with the weights (TF/CNTK) or lazily
+        # during the first iterations (MXNet -> the paper's "dynamic" class).
+        momentum_bytes = graph.total_weight_bytes
+        if self.framework.momentum_allocation is MomentumAllocation.DYNAMIC:
+            allocator.allocate(momentum_bytes, AllocationTag.DYNAMIC, "momentum")
+        else:
+            allocator.allocate(momentum_bytes, AllocationTag.WEIGHTS, "momentum")
+
+    # ------------------------------------------------------------------
+    # the headline entry point
+    # ------------------------------------------------------------------
+
+    def run_iteration(self, batch_size: int | None = None) -> IterationProfile:
+        """Simulate one stable-phase training iteration.
+
+        Raises:
+            OutOfMemoryError: if ``check_memory`` and the model does not fit.
+        """
+        batch = batch_size if batch_size is not None else self.spec.reference_batch
+        graph = self.spec.build(batch)
+        memory = None
+        if self.check_memory:
+            allocator = GPUMemoryAllocator(
+                self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
+            )
+            self._allocate(graph, allocator)
+            memory = allocator.snapshot()
+        return self.simulate_graph(
+            graph, memory=memory, display_name=self.spec.display_name
+        )
+
+    def simulate_graph(
+        self,
+        graph: LayerGraph,
+        memory=None,
+        display_name: str | None = None,
+    ) -> IterationProfile:
+        """Run an arbitrary (possibly transformed) layer graph through this
+        session's framework/device timeline — the hook the optimization
+        what-ifs (:mod:`repro.optimizations`) use to evaluate graph
+        rewrites.  Host-side costs are accounted as for the session's model.
+        """
+        batch = graph.batch_size
+        kernels = self._iteration_kernels(graph)
+        timings = self._roofline.time_kernels(kernels)
+        makespan, busy, dispatch_cpu = self._execute_timeline(timings)
+
+        pipeline = self._pipeline.cost(
+            max(1, int(batch * self.spec.pipeline_cost_scale)), self.framework
+        )
+        host_core_seconds = self.spec.host_cpu_cost(self.framework.key)
+        host_exposed = host_core_seconds * (1.0 - self.spec.host_cpu_overlap)
+        env_core_seconds = self.spec.env_cpu_core_seconds_per_sample * batch
+        env_wall = env_core_seconds / self.spec.env_cpu_threads
+
+        iteration_time = makespan + pipeline.exposed_seconds + host_exposed + env_wall
+        cpu_core_seconds = (
+            dispatch_cpu
+            + pipeline.cpu_core_seconds
+            + host_core_seconds
+            + env_core_seconds
+        )
+        return IterationProfile(
+            model=display_name if display_name is not None else graph.model_name,
+            framework=self.framework.name,
+            device=self.gpu.name,
+            batch_size=batch,
+            iteration_time_s=iteration_time,
+            gpu_busy_time_s=busy,
+            gpu_flops=sum(t.kernel.flops for t in timings),
+            effective_samples=graph.effective_samples,
+            cpu_core_seconds=cpu_core_seconds,
+            cpu_core_count=self.cpu.core_count,
+            peak_fp32_flops=self.gpu.peak_fp32_flops,
+            kernel_timings=timings,
+            memory=memory,
+        )
+
+    def max_batch_size(self, candidates=None) -> int:
+        """Largest sweep batch size that fits in GPU memory."""
+        from repro.hardware.memory import OutOfMemoryError
+
+        sizes = candidates if candidates is not None else self.spec.batch_sizes
+        best = 0
+        for batch in sorted(sizes):
+            try:
+                self.profile_memory(batch)
+            except OutOfMemoryError:
+                break
+            best = batch
+        return best

@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+Expensive simulator runs are cached at session scope: the suite object is
+stateless, and profiles for commonly-asserted configurations are computed
+once and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.suite import standard_suite
+from repro.training.session import TrainingSession
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return standard_suite()
+
+
+@pytest.fixture(scope="session")
+def profile_cache():
+    """Memoized (model, framework, batch) -> IterationProfile."""
+    cache = {}
+
+    def get(model: str, framework: str, batch: int):
+        key = (model, framework, batch)
+        if key not in cache:
+            cache[key] = TrainingSession(model, framework).run_iteration(batch)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def resnet_mxnet_32(profile_cache):
+    return profile_cache("resnet-50", "mxnet", 32)
+
+
+@pytest.fixture(scope="session")
+def nmt_tf_128(profile_cache):
+    return profile_cache("nmt", "tensorflow", 128)

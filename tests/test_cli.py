@@ -1,0 +1,92 @@
+"""Tests for the ``tbd`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        code, out = run_cli(capsys, "run", "resnet-50", "-f", "mxnet", "-b", "16")
+        assert code == 0
+        assert "ResNet-50" in out and "samples/s" in out
+
+    def test_run_on_other_gpu(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "resnet-50", "-f", "mxnet", "-b", "16", "-g", "titan xp"
+        )
+        assert code == 0
+
+    def test_sweep_marks_oom(self, capsys):
+        code, out = run_cli(capsys, "sweep", "sockeye", "-f", "mxnet")
+        assert code == 0
+        assert out.count("b=") >= 0
+        assert "Sockeye" in out
+
+    def test_analyze_prints_recommendations(self, capsys):
+        code, out = run_cli(capsys, "analyze", "nmt", "-f", "tensorflow", "-b", "64")
+        assert code == 0
+        assert "throughput" in out
+        assert "recommendations" in out
+
+    def test_exhibit_single(self, capsys):
+        code, out = run_cli(capsys, "exhibit", "table4")
+        assert code == 0
+        assert "Quadro P4000" in out
+
+    def test_exhibit_unknown(self, capsys):
+        code, out = run_cli(capsys, "exhibit", "fig99")
+        assert code == 2
+
+    def test_observations(self, capsys):
+        code, out = run_cli(capsys, "observations")
+        assert code == 0
+        assert out.count("[PASS]") == 13
+
+    def test_memory(self, capsys):
+        code, out = run_cli(capsys, "memory", "wgan", "-f", "tensorflow", "-b", "32")
+        assert code == 0
+        assert "feature maps" in out
+
+    def test_distributed(self, capsys):
+        code, out = run_cli(capsys, "distributed")
+        assert code == 0
+        assert "2M1G (ethernet)" in out
+
+    def test_report(self, capsys, tmp_path):
+        out_path = str(tmp_path / "r.html")
+        code, out = run_cli(
+            capsys, "report", "-o", out_path, "--no-observations"
+        )
+        assert code == 0
+        assert "wrote" in out
+        import os
+
+        assert os.path.getsize(out_path) > 10_000
+
+    def test_compare(self, capsys):
+        code, out = run_cli(
+            capsys, "compare", "resnet-50", "mxnet", "tensorflow", "-b", "32"
+        )
+        assert code == 0
+        assert "faster" in out or "indistinguishable" in out
+
+    def test_catalog_listings(self, capsys):
+        for command, needle in (
+            ("models", "resnet-50"),
+            ("frameworks", "TensorFlow"),
+            ("datasets", "imagenet1k"),
+        ):
+            code, out = run_cli(capsys, command)
+            assert code == 0
+            assert needle in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,133 @@
+"""Cross-validation: the simulator's analytic models vs. the real engine.
+
+The repository has two halves — analytic kernel/layer models that drive the
+performance study, and a real autodiff engine.  Wherever both describe the
+same computation, they must agree; these tests bind them together so
+neither half can drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.lowering import (
+    conv_layer,
+    dense_layer,
+    embedding_layer,
+    lstm_layer,
+)
+from repro.kernels.conv import ConvShape
+from repro.tensor import functional as F
+from repro.tensor.attention import MultiHeadAttention
+from repro.tensor.layers import Conv2d, Dense, Embedding, LSTMCell
+from repro.tensor.tensor import Tensor
+
+
+class TestConvAgreement:
+    @pytest.mark.parametrize(
+        "batch,in_c,out_c,size,kernel,stride,padding",
+        [
+            (2, 3, 8, 16, 3, 1, 1),
+            (4, 8, 16, 12, 3, 2, 1),
+            (1, 4, 4, 9, 1, 1, 0),
+            (2, 2, 6, 11, 5, 2, 2),
+        ],
+    )
+    def test_output_geometry_matches_real_conv(
+        self, batch, in_c, out_c, size, kernel, stride, padding
+    ):
+        shape = ConvShape(batch, in_c, out_c, size, size, kernel, kernel, stride, padding)
+        x = Tensor(np.zeros((batch, in_c, size, size), dtype=np.float32))
+        layer = Conv2d(in_c, out_c, kernel, stride=stride, padding=padding)
+        out = layer(x)
+        assert out.shape == (batch, out_c, shape.out_h, shape.out_w)
+        assert shape.output_elements == out.size
+
+    def test_weight_count_matches_real_conv(self):
+        shape = ConvShape(1, 5, 7, 8, 8, 3, 3, 1, 1)
+        analytic = conv_layer("c", shape, bias=True)
+        real = Conv2d(5, 7, 3, padding=1, bias=True)
+        assert analytic.weight_elements == real.parameter_count()
+
+    def test_flop_count_matches_actual_multiplies(self):
+        """The analytic MAC count equals the im2col GEMM's element count."""
+        shape = ConvShape(2, 3, 4, 6, 6, 3, 3, 1, 1)
+        # im2col matrix: (b*oh*ow) x (in_c*k*k); GEMM against (in_c*k*k, out_c)
+        rows = shape.batch * shape.out_h * shape.out_w
+        inner = shape.in_channels * shape.kernel_h * shape.kernel_w
+        assert shape.macs == rows * inner * shape.out_channels
+
+
+class TestDenseAndEmbeddingAgreement:
+    def test_dense_weights(self):
+        analytic = dense_layer("fc", 4, 32, 10, bias=True)
+        real = Dense(32, 10, bias=True)
+        assert analytic.weight_elements == real.parameter_count()
+
+    def test_dense_output_elements(self):
+        analytic = dense_layer("fc", 4, 32, 10)
+        real = Dense(32, 10)
+        out = real(Tensor(np.zeros((4, 32), dtype=np.float32)))
+        assert analytic.output_elements == out.size
+
+    def test_embedding_weights_and_output(self):
+        analytic = embedding_layer("emb", tokens=6, vocab=50, embed_dim=8)
+        real = Embedding(50, 8)
+        assert analytic.weight_elements == real.parameter_count()
+        out = real(np.zeros((2, 3), dtype=np.int64))
+        assert analytic.output_elements == out.size
+
+
+class TestLSTMAgreement:
+    def test_weight_count_matches_real_cell(self):
+        analytic = lstm_layer("l", batch=4, seq_len=1, input_size=24, hidden=32)
+        real = LSTMCell(24, 32)
+        assert analytic.weight_elements == real.parameter_count()
+
+    def test_bidirectional_doubles_real_equivalent(self):
+        analytic = lstm_layer(
+            "l", batch=4, seq_len=1, input_size=24, hidden=32, bidirectional=True
+        )
+        real = LSTMCell(24, 32)
+        assert analytic.weight_elements == 2 * real.parameter_count()
+
+    def test_step_gemm_flops_match_real_matmul(self):
+        """The lowering's per-step GEMM flops equal twice the multiply count
+        of the real cell's concatenated matmul."""
+        batch, input_size, hidden = 4, 24, 32
+        analytic = lstm_layer("l", batch, 1, input_size, hidden)
+        step_gemm = analytic.forward_kernels[0]
+        multiplies = batch * (input_size + hidden) * 4 * hidden
+        assert step_gemm.flops == 2 * multiplies
+
+
+class TestAttentionAgreement:
+    def test_projection_weights_match(self):
+        from repro.graph.lowering import attention_layer
+
+        analytic = attention_layer("a", batch=2, heads=4, seq_q=5, seq_k=5, model_dim=16)
+        real = MultiHeadAttention(16, 4)
+        real_weights = sum(p.size for p in real.parameters() if p.ndim == 2)
+        assert analytic.weight_elements == real_weights  # biases excluded
+
+    def test_scores_flops_match_real_matmul(self):
+        from repro.kernels.attention import attention_scores
+
+        batch, heads, seq, model_dim = 2, 4, 5, 16
+        head_dim = model_dim // heads
+        kernel = attention_scores(batch * heads, seq, seq, head_dim)
+        # Real scores matmul: (b*h, seq, hd) @ (b*h, hd, seq).
+        multiplies = batch * heads * seq * seq * head_dim
+        assert kernel.flops == 2 * multiplies
+
+
+class TestLossAgreement:
+    def test_cross_entropy_batch_convention(self):
+        """The simulated loss kernel's element count equals the real
+        logits tensor size."""
+        from repro.kernels.misc import cross_entropy_loss
+
+        kernel = cross_entropy_loss(8, 100)
+        logits = Tensor(np.zeros((8, 100), dtype=np.float32), requires_grad=True)
+        loss = F.cross_entropy(logits, np.zeros(8, dtype=np.int64))
+        assert kernel.flops == pytest.approx(6.0 * logits.size)
+        assert loss.size == 1

@@ -1,0 +1,177 @@
+"""Tests for the energy model, the golden-baseline regression system, and
+graph linting."""
+
+import json
+
+import pytest
+
+from repro.core.regression import (
+    DEFAULT_PATH,
+    TOLERANCES,
+    capture_baselines,
+    detect_drift,
+    load_baselines,
+    save_baselines,
+)
+from repro.graph.layer import Layer, LayerGraph
+from repro.graph.validation import assert_valid, lint_graph
+from repro.hardware.devices import GTX_580, QUADRO_P4000, TITAN_XP
+from repro.hardware.energy import (
+    HOST_POWER_WATTS,
+    energy_profile,
+    energy_to_accuracy_j,
+    perf_per_watt_comparison,
+    tdp_of,
+)
+from repro.models.registry import extension_catalog, model_catalog
+from repro.training.session import TrainingSession
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def resnet_energy(self):
+        profile = TrainingSession("resnet-50", "mxnet").run_iteration(32)
+        return energy_profile(profile, QUADRO_P4000)
+
+    def test_tdp_lookup(self):
+        assert tdp_of(QUADRO_P4000) == 105.0
+        assert tdp_of(TITAN_XP) == 250.0
+        with pytest.raises(KeyError):
+            from repro.hardware.devices import GPUSpec
+
+            tdp_of(
+                GPUSpec("H100", 1, 1, 1.0, 1.0, 1.0, "x", 1.0, "x", 1.0)
+            )
+
+    def test_power_bounded_by_tdp_plus_host(self, resnet_energy):
+        assert resnet_energy.gpu_power_watts <= 105.0
+        assert resnet_energy.gpu_power_watts > 0.12 * 105.0  # above idle
+        assert resnet_energy.total_power_watts == pytest.approx(
+            resnet_energy.gpu_power_watts + HOST_POWER_WATTS
+        )
+
+    def test_energy_accounting(self, resnet_energy):
+        assert resnet_energy.energy_per_iteration_j > 0
+        assert resnet_energy.samples_per_joule == pytest.approx(
+            1.0 / resnet_energy.joules_per_sample
+        )
+
+    def test_titan_xp_faster_but_not_proportionally_more_efficient(self):
+        """The efficiency flip side of Obs. 10: the Titan Xp's 2x throughput
+        costs ~2.4x the TDP, so perf/watt does not double."""
+        comparison = perf_per_watt_comparison(
+            "resnet-50", "mxnet", 32, (QUADRO_P4000, TITAN_XP)
+        )
+        p4, xp = comparison
+        assert xp.throughput > 1.8 * p4.throughput
+        assert xp.samples_per_joule < 1.8 * p4.samples_per_joule
+
+    def test_gtx580_era_was_far_less_efficient(self):
+        comparison = perf_per_watt_comparison(
+            "alexnet", "mxnet", 32, (GTX_580, QUADRO_P4000)
+        )
+        old, new = comparison
+        assert new.samples_per_joule > 2.0 * old.samples_per_joule
+
+    def test_energy_to_accuracy(self):
+        profile = TrainingSession("resnet-50", "mxnet").run_iteration(32)
+        energy = energy_profile(profile, QUADRO_P4000)
+        to_60 = energy_to_accuracy_j("resnet-50", energy, 60.0)
+        to_70 = energy_to_accuracy_j("resnet-50", energy, 70.0)
+        assert to_70 > to_60 > 0
+
+
+class TestRegressionBaselines:
+    def test_checked_in_baselines_exist_and_cover_the_suite(self):
+        baselines = load_baselines()
+        assert len(baselines) == 14
+        assert "resnet-50/mxnet" in baselines
+
+    def test_no_drift_against_checked_in_baselines(self):
+        """The calibration gate: current simulator output matches the
+        golden file within tolerance."""
+        drifts = detect_drift()
+        assert not drifts, "calibration drift: " + "; ".join(map(str, drifts))
+
+    def test_capture_matches_live_run(self, suite):
+        captured = capture_baselines(suite)
+        entry = captured["wgan/tensorflow"]
+        live = suite.run("wgan", "tensorflow")
+        assert entry["throughput"] == pytest.approx(live.throughput)
+
+    def test_detect_drift_flags_changes(self, tmp_path, suite):
+        path = str(tmp_path / "baselines.json")
+        save_baselines(path, suite)
+        data = json.load(open(path))
+        data["resnet-50/mxnet"]["throughput"] *= 1.5
+        data["ghost/config"] = data["resnet-50/mxnet"]
+        json.dump(data, open(path, "w"))
+        drifts = detect_drift(path, suite)
+        kinds = {(d.configuration, d.metric) for d in drifts}
+        assert ("resnet-50/mxnet", "throughput") in kinds
+        assert ("ghost/config", "<missing>") in kinds
+
+    def test_tolerances_sane(self):
+        assert set(TOLERANCES) == {
+            "throughput",
+            "gpu_utilization",
+            "fp32_utilization",
+            "cpu_utilization",
+        }
+        assert all(0 < t < 0.2 for t in TOLERANCES.values())
+
+    def test_default_path_is_package_local(self):
+        assert DEFAULT_PATH.endswith("baselines.json")
+
+
+class TestGraphLinting:
+    def test_whole_zoo_lints_clean(self):
+        specs = list(model_catalog().values()) + list(extension_catalog().values())
+        for spec in specs:
+            for batch in (spec.batch_sizes[0], spec.reference_batch):
+                graph = spec.build(batch)
+                findings = lint_graph(graph)
+                assert not findings, (spec.key, batch, list(map(str, findings)))
+
+    def test_empty_graph_flagged(self):
+        findings = lint_graph(LayerGraph("empty", 1))
+        rules = {finding.rule for finding in findings}
+        assert "empty graph" in rules
+        assert "no computation" in rules
+
+    def test_untrainable_weights_flagged(self):
+        graph = LayerGraph(
+            "bad", 1, layers=[Layer("w", "dense", weight_elements=10)]
+        )
+        rules = {finding.rule for finding in lint_graph(graph)}
+        assert "untrainable weights" in rules
+
+    def test_missing_recurrent_geometry_flagged(self):
+        graph = LayerGraph("bad", 1, layers=[Layer("l", "lstm", weight_elements=0)])
+        rules = {finding.rule for finding in lint_graph(graph)}
+        assert "missing recurrent geometry" in rules
+
+    def test_assert_valid_raises_with_details(self):
+        with pytest.raises(ValueError, match="empty graph"):
+            assert_valid(LayerGraph("empty", 1))
+
+    def test_assert_valid_passes_for_real_model(self):
+        from repro.models.resnet import build_resnet50
+
+        assert_valid(build_resnet50(4))
+
+
+class TestDeepSpeechCellOption:
+    def test_gru_variant_builds_and_costs_more(self):
+        from repro.models.deepspeech import build_deep_speech2
+
+        rnn = build_deep_speech2(2, cell="rnn")
+        gru = build_deep_speech2(2, cell="gru")
+        assert gru.iteration_flops() > 2.0 * rnn.iteration_flops()
+        assert any(l.kind == "gru" for l in gru.layers)
+
+    def test_invalid_cell_rejected(self):
+        from repro.models.deepspeech import build_deep_speech2
+
+        with pytest.raises(ValueError, match="cell"):
+            build_deep_speech2(2, cell="lstm")

@@ -1,0 +1,304 @@
+"""Integration tests: every table/figure generator runs and its output has
+the paper's shape."""
+
+import pytest
+
+from repro.core.suite import standard_suite
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table1,
+    table2_3,
+    table4,
+    table5_6,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return standard_suite()
+
+
+class TestRegistryOfExperiments:
+    def test_all_exhibits_registered(self):
+        # 12 evaluation exhibits + the two schematic figures (1 & 3).
+        assert len(ALL_EXPERIMENTS) == 13
+
+    def test_every_module_has_generate_and_render(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert hasattr(module, "generate")
+            assert hasattr(module, "render")
+
+
+class TestTable1:
+    def test_counts_match_table_cells(self):
+        summary = table1.generate()
+        assert summary.training_papers == 16
+        assert summary.inference_papers == 25
+        assert summary.inference_over_training > 1.5
+        assert summary.broader_papers == 11
+        assert summary.image_only_over_broader > 2.0
+
+    def test_render_includes_caption(self):
+        text = table1.render()
+        assert "Training" in text and "Inference" in text
+        assert "inference-only 25" in text
+
+
+class TestTables2And3:
+    def test_table2_has_nine_rows(self):
+        rows = table2_3.generate_table2()
+        assert len(rows) == 9  # 8 models, Seq2Seq as two implementations
+
+    def test_table2_applications(self):
+        applications = {row[0] for row in table2_3.generate_table2()}
+        assert applications == {
+            "Image classification",
+            "Machine translation",
+            "Object detection",
+            "Speech recognition",
+            "Adversarial learning",
+            "Deep reinforcement learning",
+        }
+
+    def test_table3_has_six_rows(self):
+        assert len(table2_3.generate_table3()) == 6
+
+    def test_render(self):
+        text = table2_3.render()
+        assert "ResNet-50" in text and "LibriSpeech" in text
+
+
+class TestTable4:
+    def test_rows_and_render(self):
+        rows = table4.generate()
+        by_name = {row[0]: row for row in rows}
+        assert by_name["Core Count"][1:] == (3840, 1792, 28)
+        assert "GDDR5X" in table4.render()
+
+
+class TestFig2:
+    def test_curves(self, suite):
+        curves = fig2.generate(suite, points=16)
+        assert len(curves) == 10
+        for curve in curves:
+            values = curve.values
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        by_model = {(c.model, c.framework): c for c in curves}
+        # Literature end points (Section 3.3).
+        assert by_model[("resnet-50", "mxnet")].final_value > 70.0
+        assert by_model[("nmt", "tensorflow")].final_value > 18.0
+        assert by_model[("a3c", "mxnet")].final_value > 18.0
+
+    def test_render(self, suite):
+        assert "game score" in fig2.render(fig2.generate(suite, points=32))
+
+
+class TestFigs4To6:
+    @pytest.fixture(scope="class")
+    def data4(self, suite):
+        return fig4.generate(suite)
+
+    @pytest.fixture(scope="class")
+    def data5(self, suite):
+        return fig5.generate(suite)
+
+    @pytest.fixture(scope="class")
+    def data6(self, suite):
+        return fig6.generate(suite)
+
+    def test_fig4_throughput_monotone(self, data4):
+        for series in data4["sweeps"]:
+            finite = [v for _, v in series.finite()]
+            assert finite == sorted(finite), series.model
+
+    def test_fig4_faster_rcnn_rate(self, data4):
+        for framework, value in data4["faster_rcnn"].items():
+            assert 1.5 < value < 4.0  # paper: 2.3 images/s
+
+    def test_fig5_cnn_high_lstm_low(self, data5):
+        by_key = {(s.model, s.framework): s for s in data5["sweeps"]}
+        resnet = by_key[("resnet-50", "mxnet")].finite()[-1][1]
+        nmt = by_key[("nmt", "tensorflow")].finite()[-1][1]
+        assert resnet > 0.9
+        assert nmt < 0.75
+
+    def test_fig6_rnn_lowest(self, data6):
+        by_key = {(s.model, s.framework): s for s in data6["sweeps"]}
+        ds2 = by_key[("deep-speech-2", "mxnet")].finite()[-1][1]
+        resnet = by_key[("resnet-50", "mxnet")].finite()[-1][1]
+        assert ds2 < 0.25 * resnet
+
+    def test_renders(self, data4, data5, data6):
+        assert "Fig. 4" in fig4.render(data4)
+        assert "%" in fig5.render(data5)
+        assert "%" in fig6.render(data6)
+
+
+class TestTables5And6:
+    @pytest.mark.parametrize("framework", ["tensorflow", "mxnet"])
+    def test_five_rows_below_average(self, suite, framework):
+        data = table5_6.generate(framework, suite)
+        rows = data["rows"]
+        assert len(rows) == 5
+        assert all(
+            row.fp32_utilization < data["average_fp32_utilization"] for row in rows
+        )
+
+    def test_bn_kernels_lead_both_tables(self, suite):
+        for framework in ("tensorflow", "mxnet"):
+            rows = table5_6.generate(framework, suite)["rows"]
+            assert "bn_" in rows[0].kernel_name
+
+    def test_framework_specific_elementwise_kernels_appear(self, suite):
+        tf_names = " ".join(
+            r.kernel_name for r in table5_6.generate("tensorflow", suite)["rows"]
+        )
+        mx_names = " ".join(
+            r.kernel_name for r in table5_6.generate("mxnet", suite)["rows"]
+        )
+        assert "Eigen" in tf_names
+        assert "mxnet" in mx_names
+
+    def test_render_both(self):
+        text = table5_6.render_both()
+        assert "Table 5" in text and "Table 6" in text
+
+
+class TestFig7:
+    def test_fourteen_bars(self, suite):
+        data = fig7.generate(suite)
+        assert len(data) == 14
+
+    def test_shape_matches_paper(self, suite):
+        data = fig7.generate(suite)
+        values = {label: measured for label, measured, _ in data}
+        # All but A3C below 15%; A3C the maximum; CNTK image models ~0.
+        a3c = values["A3C (MXNet)"]
+        assert a3c == max(values.values())
+        assert a3c > 15.0
+        others = [v for k, v in values.items() if k != "A3C (MXNet)"]
+        assert all(v < 15.0 for v in others)
+        assert values["ResNet-50 (CNTK)"] < 0.5
+
+    def test_within_factor_two_of_paper(self, suite):
+        for label, measured, paper in fig7.generate(suite):
+            assert measured < 3 * paper + 1.0, label
+            assert measured > paper / 4 - 1.0, label
+
+
+class TestFig8:
+    def test_six_configurations(self, suite):
+        assert len(fig8.generate(suite)) == 6
+
+    def test_observation_10_shape(self, suite):
+        for comparison in fig8.generate(suite):
+            assert comparison.titan_throughput > comparison.p4000_throughput * 0.95
+            assert comparison.titan_fp32_utilization < comparison.p4000_fp32_utilization
+            assert comparison.titan_gpu_utilization < comparison.p4000_gpu_utilization
+
+    def test_cnn_gains_more_than_rnn(self, suite):
+        data = {(c.model, c.framework): c for c in fig8.generate(suite)}
+        cnn = data[("resnet-50", "mxnet")].normalized_throughput
+        rnn = data[("sockeye", "mxnet")].normalized_throughput
+        assert cnn > 1.8  # paper: ~2.07x
+        assert rnn < 1.5  # paper: ~1.01x
+        assert rnn < cnn
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return fig9.generate()
+
+    def test_every_panel_produced(self, profiles):
+        models = {p.model for p in profiles}
+        assert len(models) == 9
+
+    @staticmethod
+    def _largest_batch_profiles(profiles):
+        best = {}
+        for profile in profiles:
+            key = (profile.model, profile.framework)
+            if key not in best or profile.batch_size > best[key].batch_size:
+                best[key] = profile
+        return best.values()
+
+    def test_feature_maps_dominate_at_reference_batches(self, profiles):
+        """Obs. 11 is about realistic (large) batches; at tiny batches the
+        constant weight terms weigh more, exactly as the paper's bars show."""
+        for profile in self._largest_batch_profiles(profiles):
+            assert profile.feature_map_fraction > 0.5, profile.model
+            largest_class = max(profile.breakdown().items(), key=lambda kv: kv[1])
+            assert largest_class[0] == "feature maps", profile.model
+
+    def test_feature_map_span_matches_observation_11(self, profiles):
+        fractions = [
+            p.feature_map_fraction for p in self._largest_batch_profiles(profiles)
+        ]
+        assert min(fractions) > 0.55
+        assert max(fractions) < 0.95
+
+    def test_dynamic_only_on_mxnet(self, profiles):
+        for profile in profiles:
+            dynamic = profile.breakdown()["dynamic"]
+            if profile.framework == "MXNet":
+                assert dynamic > 0
+            else:
+                assert dynamic == 0
+
+    def test_render(self, profiles):
+        assert "Fig. 9" in fig9.render(profiles)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig10.generate()
+
+    def test_five_configurations_three_batches(self, data):
+        assert len(data) == 5
+        for profiles in data.values():
+            assert [p.per_gpu_batch for p in profiles] == [8, 16, 32]
+
+    def test_observation_13_shape(self, data):
+        at32 = {label: profiles[-1].throughput for label, profiles in data.items()}
+        assert at32["2M1G (ethernet)"] < at32["1M1G"]
+        assert at32["2M1G (infiniband)"] > 1.5 * at32["1M1G"]
+        assert at32["1M4G"] > 3.0 * at32["1M1G"]
+
+    def test_render(self, data):
+        assert "Fig. 10" in fig10.render(data)
+
+
+class TestSchematicFigures:
+    def test_fig1_renders_from_live_graph(self):
+        from repro.experiments import fig1_fig3
+
+        text = fig1_fig3.render_fig1()
+        assert "feed-forward" in text
+        assert "weights=" in text
+        assert "gradient maps" in text
+
+    def test_fig3_stages_cover_the_toolchain(self):
+        from repro.experiments import fig1_fig3
+
+        stages = fig1_fig3.generate_fig3()
+        modules = " ".join(module for _, module in stages)
+        assert "kernel_trace" in modules
+        assert "cpu_sampler" in modules
+        assert "memory_profiler" in modules
+        assert "assert_comparable" in modules
+
+    def test_combined_render(self):
+        from repro.experiments import fig1_fig3
+
+        text = fig1_fig3.render()
+        assert "Fig. 1" in text and "Fig. 3" in text

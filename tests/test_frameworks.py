@@ -1,0 +1,132 @@
+"""Unit tests for the framework personalities."""
+
+import pytest
+
+from repro.frameworks.base import Framework, MomentumAllocation
+from repro.frameworks.registry import (
+    CNTK,
+    MXNET,
+    TENSORFLOW,
+    framework_catalog,
+    get_framework,
+)
+from repro.kernels.base import Kernel, KernelCategory
+
+
+class TestRegistry:
+    def test_lookup_aliases(self):
+        assert get_framework("tf") is TENSORFLOW
+        assert get_framework("TensorFlow") is TENSORFLOW
+        assert get_framework("mxnet") is MXNET
+        assert get_framework("CNTK") is CNTK
+
+    def test_passthrough(self):
+        assert get_framework(MXNET) is MXNET
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown framework"):
+            get_framework("caffe")
+
+    def test_catalog_has_paper_versions(self):
+        catalog = framework_catalog()
+        assert catalog["TensorFlow"].version == "1.3"
+        assert catalog["MXNet"].version == "0.11.0"
+        assert catalog["CNTK"].version == "2.0"
+
+
+class TestPersonalities:
+    def test_mxnet_allocates_momentum_dynamically(self):
+        assert MXNET.momentum_allocation is MomentumAllocation.DYNAMIC
+        assert TENSORFLOW.momentum_allocation is MomentumAllocation.STATIC
+        assert CNTK.momentum_allocation is MomentumAllocation.STATIC
+
+    def test_tensorflow_allocator_tighter_than_mxnet(self):
+        assert TENSORFLOW.pool_overhead < MXNET.pool_overhead
+
+    def test_cntk_input_pipeline_is_nearly_free(self):
+        assert CNTK.pipeline_cost_factor < 0.1
+        assert TENSORFLOW.pipeline_cost_factor >= 1.0
+
+    def test_keys(self):
+        assert TENSORFLOW.key == "tensorflow"
+
+
+class TestKernelSpecialization:
+    def test_elementwise_kernels_get_framework_names(self):
+        kernel = Kernel(
+            "residual_add_kernel", KernelCategory.ELEMENTWISE, 10.0, 40.0
+        )
+        assert "Eigen" in TENSORFLOW.specialize_kernel(kernel).name
+        assert "mxnet_generic" in MXNET.specialize_kernel(kernel).name
+
+    def test_cudnn_kernels_keep_their_names(self):
+        kernel = Kernel(
+            "cudnn::detail::bn_fw_tr_1C11_kernel_new",
+            KernelCategory.NORM,
+            10.0,
+            40.0,
+        )
+        assert TENSORFLOW.specialize_kernel(kernel).name == kernel.name
+
+    def test_efficiency_multiplier_applied(self):
+        kernel = Kernel(
+            "conv_kernel", KernelCategory.CONV, 10.0, 40.0, max_compute_efficiency=0.5
+        )
+        specialized = TENSORFLOW.specialize_kernel(kernel)
+        factor = TENSORFLOW.kernel_efficiency[KernelCategory.CONV]
+        assert specialized.max_compute_efficiency == pytest.approx(0.5 * factor)
+
+    def test_efficiency_capped_at_one(self):
+        kernel = Kernel(
+            "rnn", KernelCategory.RNN_POINTWISE, 10.0, 40.0, max_compute_efficiency=0.95
+        )
+        specialized = TENSORFLOW.specialize_kernel(kernel)  # factor 1.10
+        assert specialized.max_compute_efficiency <= 1.0
+
+    def test_unlisted_category_untouched(self):
+        kernel = Kernel("x", KernelCategory.MEMCPY, 0.0, 40.0)
+        assert TENSORFLOW.specialize_kernel(kernel) is kernel
+
+    def test_host_sync_flag_preserved(self):
+        kernel = Kernel(
+            "rnn_cell",
+            KernelCategory.RNN_POINTWISE,
+            10.0,
+            40.0,
+            host_sync=True,
+        )
+        assert MXNET.specialize_kernel(kernel).host_sync
+
+    def test_specialize_kernels_list(self):
+        kernels = [Kernel("a", KernelCategory.GEMM, 1.0, 4.0)] * 3
+        assert len(TENSORFLOW.specialize_kernels(kernels)) == 3
+
+
+class TestValidation:
+    def _base(self, **overrides):
+        fields = dict(
+            name="test",
+            version="0",
+            dispatch_cost_s=1e-6,
+            frontend_cost_s=1e-4,
+            pool_overhead=1.0,
+            workspace_factor=1.0,
+            momentum_allocation=MomentumAllocation.STATIC,
+        )
+        fields.update(overrides)
+        return Framework(**fields)
+
+    def test_valid_minimal(self):
+        assert self._base().name == "test"
+
+    def test_invalid_dispatch(self):
+        with pytest.raises(ValueError):
+            self._base(dispatch_cost_s=0.0)
+
+    def test_invalid_pool_overhead(self):
+        with pytest.raises(ValueError):
+            self._base(pool_overhead=0.5)
+
+    def test_invalid_pipeline_efficiency(self):
+        with pytest.raises(ValueError):
+            self._base(data_pipeline_efficiency=0.0)

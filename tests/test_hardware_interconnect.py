@@ -1,0 +1,94 @@
+"""Unit tests for interconnect models and cluster topology."""
+
+import pytest
+
+from repro.hardware.cluster import (
+    ClusterSpec,
+    MachineSpec,
+    PAPER_TESTBED,
+    parse_configuration,
+)
+from repro.hardware.devices import TITAN_XP
+from repro.hardware.interconnect import (
+    ETHERNET_10G,
+    ETHERNET_1G,
+    INFINIBAND_100G,
+    Interconnect,
+    PCIE_3_X16,
+    get_interconnect,
+)
+
+
+class TestInterconnect:
+    def test_transfer_time_is_latency_plus_bandwidth_term(self):
+        link = Interconnect("test", bandwidth_gbs=1.0, latency_s=1e-3, efficiency=1.0)
+        assert link.transfer_time(1e9) == pytest.approx(1e-3 + 1.0)
+
+    def test_zero_bytes_is_free(self):
+        assert PCIE_3_X16.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_3_X16.transfer_time(-1)
+
+    def test_infiniband_much_faster_than_ethernet(self):
+        bytes_ = 100e6  # ~ResNet-50 gradients
+        assert INFINIBAND_100G.transfer_time(bytes_) < 0.02 * ETHERNET_1G.transfer_time(
+            bytes_
+        )
+
+    def test_efficiency_discounts_bandwidth(self):
+        assert ETHERNET_10G.effective_bandwidth_bytes == pytest.approx(
+            1.25e9 * 0.70
+        )
+
+    def test_lookup_aliases(self):
+        assert get_interconnect("ib") is INFINIBAND_100G
+        assert get_interconnect("PCIe") is PCIE_3_X16
+        with pytest.raises(KeyError):
+            get_interconnect("carrier-pigeon")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect("bad", bandwidth_gbs=0.0, latency_s=0.0)
+        with pytest.raises(ValueError):
+            Interconnect("bad", bandwidth_gbs=1.0, latency_s=-1.0)
+        with pytest.raises(ValueError):
+            Interconnect("bad", bandwidth_gbs=1.0, latency_s=0.0, efficiency=0.0)
+
+
+class TestClusterSpec:
+    def test_paper_testbed_shape(self):
+        assert PAPER_TESTBED.machine_count == 16
+        assert PAPER_TESTBED.machine.cpu.core_count == 28
+        assert PAPER_TESTBED.total_gpus == 64
+
+    def test_parse_configuration(self):
+        cluster = parse_configuration("1M4G")
+        assert cluster.machine_count == 1
+        assert cluster.machine.gpu_count == 4
+        assert not cluster.is_distributed
+
+    def test_parse_distributed_with_fabric(self):
+        cluster = parse_configuration("2M1G", fabric="infiniband")
+        assert cluster.is_distributed
+        assert cluster.inter_link is INFINIBAND_100G
+        assert cluster.name == "2M1G (InfiniBand 100Gb)"
+
+    def test_parse_with_custom_gpu(self):
+        cluster = parse_configuration("1M2G", gpu=TITAN_XP)
+        assert cluster.machine.gpu is TITAN_XP
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("2M", "MG", "0M1G", "2machines"):
+            with pytest.raises(ValueError):
+                parse_configuration(bad)
+
+    def test_single_machine_name_has_no_fabric(self):
+        assert parse_configuration("1M2G").name == "1M2G"
+
+    def test_machine_gpu_count_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(gpu_count=-1)
+        with pytest.raises(ValueError):
+            ClusterSpec(machine_count=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the roofline kernel-timing model."""
+
+import pytest
+
+from repro.hardware.devices import QUADRO_P4000, TITAN_XP
+from repro.hardware.roofline import (
+    RooflineModel,
+    efficiency_gap,
+    estimate_max_batch_size,
+    speed_of_light_time,
+)
+from repro.kernels.base import Kernel, KernelCategory
+from repro.kernels.gemm import gemm
+from repro.kernels.norm import batchnorm_forward
+
+
+@pytest.fixture
+def model():
+    return RooflineModel(QUADRO_P4000)
+
+
+class TestKernelTiming:
+    def test_duration_includes_launch_latency(self, model):
+        tiny = Kernel("tiny", KernelCategory.ELEMENTWISE, flops=1.0, bytes_accessed=4.0)
+        timing = model.time_kernel(tiny)
+        assert timing.duration_s >= QUADRO_P4000.kernel_launch_latency_s
+
+    def test_large_gemm_is_compute_bound(self, model):
+        timing = model.time_kernel(gemm(2048, 2048, 2048))
+        assert not timing.is_memory_bound
+        assert timing.compute_time_s > timing.memory_time_s
+
+    def test_batchnorm_is_memory_bound(self, model):
+        timing = model.time_kernel(batchnorm_forward(10_000_000, 64))
+        assert timing.is_memory_bound
+
+    def test_time_scales_with_work(self, model):
+        small = model.time_kernel(gemm(256, 256, 256))
+        large = model.time_kernel(gemm(2048, 2048, 2048))
+        assert large.duration_s > small.duration_s
+
+    def test_more_work_never_faster(self, model):
+        durations = [
+            model.time_kernel(gemm(size, size, size)).duration_s
+            for size in (64, 128, 256, 512, 1024, 2048)
+        ]
+        assert durations == sorted(durations)
+
+    def test_fp32_utilization_below_one(self, model):
+        timing = model.time_kernel(gemm(4096, 4096, 4096))
+        assert 0.0 < timing.fp32_utilization < 1.0
+
+    def test_small_gemm_has_low_fp32_utilization(self, model):
+        small = model.time_kernel(gemm(4, 2048, 2048))
+        large = model.time_kernel(gemm(2048, 2048, 2048))
+        assert small.fp32_utilization < 0.25 * large.fp32_utilization
+
+    def test_faster_device_runs_kernels_faster(self, model):
+        kernel = gemm(1024, 1024, 1024)
+        p4 = model.time_kernel(kernel)
+        xp = RooflineModel(TITAN_XP).time_kernel(kernel)
+        assert xp.duration_s < p4.duration_s
+
+    def test_faster_device_less_efficient_on_same_kernel(self, model):
+        """Observation 10's mechanism: a wider GPU needs more work to
+        saturate, so the same kernel achieves a lower fraction of peak."""
+        kernel = gemm(512, 512, 512)
+        p4 = model.time_kernel(kernel)
+        xp = RooflineModel(TITAN_XP).time_kernel(kernel)
+        assert xp.fp32_utilization < p4.fp32_utilization
+
+    def test_time_kernels_batches(self, model):
+        kernels = [gemm(64, 64, 64) for _ in range(5)]
+        timings = model.time_kernels(kernels)
+        assert len(timings) == 5
+
+
+class TestHelpers:
+    def test_speed_of_light_lower_bound(self, model):
+        kernel = gemm(1024, 1024, 1024)
+        assert speed_of_light_time(kernel, QUADRO_P4000) <= model.time_kernel(
+            kernel
+        ).duration_s
+
+    def test_efficiency_gap_at_least_one(self, model):
+        kernel = gemm(128, 128, 128)
+        assert efficiency_gap(model.time_kernel(kernel), QUADRO_P4000) >= 1.0
+
+    def test_breakeven_intensity(self, model):
+        breakeven = model.arithmetic_intensity_breakeven()
+        assert breakeven == pytest.approx(
+            QUADRO_P4000.peak_fp32_flops / QUADRO_P4000.memory_bandwidth_bytes
+        )
+
+    def test_estimate_max_batch_size(self):
+        per_sample = 100 * 1024**2
+        fixed = 1 * 1024**3
+        batch = estimate_max_batch_size(per_sample, fixed, QUADRO_P4000)
+        assert batch == (QUADRO_P4000.memory_bytes - fixed) // per_sample
+
+    def test_estimate_max_batch_size_no_room(self):
+        assert estimate_max_batch_size(1.0, QUADRO_P4000.memory_bytes + 1, QUADRO_P4000) == 0

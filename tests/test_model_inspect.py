@@ -1,0 +1,53 @@
+"""Tests for the model inspector."""
+
+import pytest
+
+from repro.models.inspect import (
+    render_summary,
+    summarize_by_kind,
+    summarize_graph,
+)
+from repro.models.registry import get_model
+
+
+class TestSummaries:
+    @pytest.fixture(scope="class")
+    def resnet_graph(self):
+        return get_model("resnet-50").build(8)
+
+    def test_per_layer_count_matches_graph(self, resnet_graph):
+        layers = summarize_graph(resnet_graph)
+        assert len(layers) == resnet_graph.layer_count
+
+    def test_totals_consistent_with_graph(self, resnet_graph):
+        layers = summarize_graph(resnet_graph)
+        assert sum(l.parameters for l in layers) == resnet_graph.total_weight_elements
+        assert sum(l.kernels for l in layers) == sum(
+            layer.kernel_count for layer in resnet_graph.layers
+        )
+
+    def test_inplace_marked(self, resnet_graph):
+        layers = summarize_graph(resnet_graph)
+        assert any(l.inplace for l in layers if l.kind == "activation")
+
+    def test_by_kind_sorted_by_flops(self, resnet_graph):
+        kinds = summarize_by_kind(resnet_graph)
+        flops = [k.gflops for k in kinds]
+        assert flops == sorted(flops, reverse=True)
+        assert kinds[0].kind == "conv"  # ResNet is conv-dominated
+
+    def test_ds2_kernel_explosion_visible(self):
+        graph = get_model("deep-speech-2").build(4)
+        kinds = {k.kind: k for k in summarize_by_kind(graph)}
+        assert kinds["rnn"].kernels > 10_000  # Obs. 5/7's mechanism, visible
+
+    def test_render_for_key_and_for_graph(self, resnet_graph):
+        by_key = render_summary("resnet-50", 8)
+        by_graph = render_summary(resnet_graph)
+        assert by_key == by_graph
+        assert "totals:" in by_key
+        assert "by layer kind" in by_key
+
+    def test_render_truncates_long_graphs(self):
+        text = render_summary("faster-rcnn", 1, max_layers=10)
+        assert "heaviest 10 shown" in text

@@ -1,0 +1,88 @@
+"""Tests for the extension models (YOLOv2, AlexNet) and their registry."""
+
+import pytest
+
+from repro.hardware.devices import GTX_580
+from repro.hardware.memory import OutOfMemoryError
+from repro.models.alexnet import build_alexnet
+from repro.models.registry import extension_catalog, get_model, model_catalog
+from repro.models.yolo import build_yolo_v2
+from repro.training.session import TrainingSession
+
+
+class TestRegistrySeparation:
+    def test_extensions_not_in_paper_catalog(self):
+        assert "yolo-v2" not in model_catalog()
+        assert "alexnet" not in model_catalog()
+        assert set(extension_catalog()) == {"yolo-v2", "alexnet"}
+
+    def test_extensions_resolve_through_get_model(self):
+        assert get_model("yolo").key == "yolo-v2"
+        assert get_model("yolo9000").key == "yolo-v2"
+        assert get_model("alexnet").key == "alexnet"
+
+
+class TestYOLOv2:
+    def test_darknet19_conv_count(self):
+        graph = build_yolo_v2(4)
+        convs = [l for l in graph.layers if l.kind == "conv"]
+        # Darknet-19's 18 trunk convs (its 19th is the classification head,
+        # replaced for detection) + 3 head convs + the 1x1 detector.
+        assert len(convs) == 22
+
+    def test_parameter_count_close_to_published(self):
+        graph = build_yolo_v2(1)
+        # YOLOv2 on VOC: ~50M parameters.
+        assert 40e6 < graph.total_weight_elements < 75e6
+
+    def test_single_shot_trains_with_real_batches(self):
+        """The motivation for adding YOLO: unlike Faster R-CNN (one image
+        per iteration), it batches normally and trains much faster per
+        image."""
+        yolo = TrainingSession("yolo-v2", "mxnet").run_iteration(16)
+        frcnn = TrainingSession("faster-rcnn", "mxnet").run_iteration(1)
+        assert yolo.throughput > 5 * frcnn.throughput
+
+    def test_fits_8gb_at_batch_16(self):
+        profile = TrainingSession("yolo-v2", "mxnet").run_iteration(16)
+        assert profile.memory.peak_total < 8 * 1024**3
+
+    def test_conv_dominant(self):
+        assert build_yolo_v2(2).dominant_layer_kind() == "conv"
+
+
+class TestAlexNet:
+    def test_parameter_count_close_to_published(self):
+        graph = build_alexnet(1)
+        # Published AlexNet: ~61M parameters (FC-heavy).
+        assert graph.total_weight_elements == pytest.approx(61e6, rel=0.08)
+
+    def test_fc_layers_hold_most_weights(self):
+        graph = build_alexnet(1)
+        fc = sum(l.weight_elements for l in graph.layers if l.kind == "dense")
+        assert fc > 0.9 * graph.total_weight_elements
+
+    def test_much_faster_than_resnet(self):
+        alexnet = TrainingSession("alexnet", "mxnet").run_iteration(128)
+        resnet = TrainingSession("resnet-50", "mxnet").run_iteration(32)
+        assert alexnet.throughput > 3 * resnet.throughput
+
+    def test_historical_gtx580_memory_wall(self):
+        """Section 2.2's anecdote quantified: AlexNet's training footprint
+        exceeds one GTX 580's 1.5 GB — the reason Krizhevsky split the model
+        across two cards."""
+        session = TrainingSession("alexnet", "mxnet", gpu=GTX_580)
+        with pytest.raises(OutOfMemoryError):
+            session.run_iteration(128)
+
+    def test_gtx580_fits_small_batches(self):
+        session = TrainingSession("alexnet", "mxnet", gpu=GTX_580)
+        profile = session.run_iteration(16)
+        assert profile.throughput > 0
+
+    def test_p4000_vs_gtx580_speedup(self):
+        """Six years of hardware: the P4000 runs AlexNet several times
+        faster than the GTX 580."""
+        p4000 = TrainingSession("alexnet", "mxnet").run_iteration(64)
+        gtx = TrainingSession("alexnet", "mxnet", gpu=GTX_580).run_iteration(64)
+        assert p4000.throughput > 2.5 * gtx.throughput

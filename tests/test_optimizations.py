@@ -1,0 +1,151 @@
+"""Unit and behaviour tests for the optimization what-ifs."""
+
+import pytest
+
+from repro.optimizations.depth import (
+    build_resnet_with_depth,
+    deepest_resnet_that_fits,
+    depth_for_batch_tradeoff,
+)
+from repro.optimizations.fusion import evaluate_fusion, fuse_recurrent_layers
+from repro.optimizations.offload import FeatureMapOffload
+from repro.optimizations.precision import HalfPrecisionStorage
+from repro.training.session import TrainingSession
+
+
+class TestFeatureMapOffload:
+    @pytest.fixture(scope="class")
+    def offload(self):
+        return FeatureMapOffload(TrainingSession("sockeye", "mxnet"))
+
+    def test_memory_saved_scales_with_fraction(self, offload):
+        half = offload.plan(64, 0.5)
+        full = offload.plan(64, 1.0)
+        assert full.gpu_memory_saved_bytes == pytest.approx(
+            2 * half.gpu_memory_saved_bytes
+        )
+
+    def test_zero_fraction_is_free(self, offload):
+        plan = offload.plan(64, 0.0)
+        assert plan.gpu_memory_saved_bytes == 0.0
+        assert plan.throughput == pytest.approx(plan.baseline_throughput)
+
+    def test_throughput_cost_is_modest_over_pcie(self, offload):
+        """vDNN's result: offloading costs little because PCIe transfers
+        overlap with compute."""
+        plan = offload.plan(64, 0.8)
+        assert 0.0 < plan.throughput_cost_fraction < 0.25
+
+    def test_offload_raises_the_memory_ceiling(self, offload):
+        """Sockeye tops out at batch 64 (paper); offloading most feature
+        maps lets larger batches fit."""
+        baseline_max = TrainingSession("sockeye", "mxnet").max_batch_size(
+            (16, 32, 64, 128, 256)
+        )
+        offload_max = offload.max_batch_with_offload((16, 32, 64, 128, 256), 0.6)
+        assert baseline_max == 64
+        assert offload_max > baseline_max
+
+    def test_fraction_validation(self, offload):
+        with pytest.raises(ValueError):
+            offload.plan(64, 1.5)
+
+    def test_fits_true_for_small_batch(self, offload):
+        assert offload.fits(16, 0.0)
+
+
+class TestHalfPrecision:
+    @pytest.fixture(scope="class")
+    def half(self):
+        return HalfPrecisionStorage(TrainingSession("resnet-50", "mxnet"))
+
+    def test_saving_close_to_half_of_feature_maps(self, half):
+        plan = half.plan(32)
+        assert plan.fp16_feature_map_bytes == pytest.approx(
+            0.5 * plan.fp32_feature_map_bytes
+        )
+        assert 0.25 < plan.total_saving_fraction < 0.55
+
+    def test_fp16_raises_max_batch(self, half):
+        fp32_max = TrainingSession("resnet-50", "mxnet").max_batch_size(
+            (32, 64, 128, 256)
+        )
+        fp16_max = half.max_batch((32, 64, 128, 256))
+        assert fp16_max > fp32_max
+
+
+class TestFusedRNN:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return TrainingSession("nmt", "tensorflow")
+
+    def test_flops_preserved_exactly(self, session):
+        graph = session.spec.build(64)
+        fused = fuse_recurrent_layers(graph)
+        assert fused.iteration_flops() == pytest.approx(
+            graph.iteration_flops(), rel=1e-9
+        )
+
+    def test_no_host_syncs_remain(self, session):
+        fused = fuse_recurrent_layers(session.spec.build(32))
+        assert not any(k.host_sync for k in fused.iteration_kernels())
+
+    def test_fewer_kernels(self, session):
+        graph = session.spec.build(64)
+        fused = fuse_recurrent_layers(graph)
+        assert len(fused.iteration_kernels()) < 0.7 * len(graph.iteration_kernels())
+
+    def test_fusion_speeds_up_lstm_models(self, session):
+        """The paper's recommendation pays off: the launch/sync overhead the
+        simulator attributes to dynamic_rnn disappears."""
+        result = evaluate_fusion(session, 64)
+        assert result.speedup > 1.3
+        assert result.fused_gpu_utilization > result.baseline_gpu_utilization
+
+    def test_fusion_is_noop_for_cnns(self):
+        session = TrainingSession("resnet-50", "mxnet")
+        result = evaluate_fusion(session, 16)
+        assert result.speedup == pytest.approx(1.0, rel=1e-6)
+        assert result.fused_kernel_count == result.baseline_kernel_count
+
+    def test_original_graph_untouched(self, session):
+        graph = session.spec.build(16)
+        before = len(graph.iteration_kernels())
+        fuse_recurrent_layers(graph)
+        assert len(graph.iteration_kernels()) == before
+
+    def test_missing_geometry_rejected(self):
+        from repro.graph.layer import Layer, LayerGraph
+
+        graph = LayerGraph("broken", 1, layers=[Layer("l", "lstm")])
+        with pytest.raises(ValueError, match="geometry"):
+            fuse_recurrent_layers(graph)
+
+
+class TestDepthTradeoff:
+    def test_variable_depth_builder(self):
+        shallow = build_resnet_with_depth(4, 6)
+        deep = build_resnet_with_depth(4, 23)
+        assert shallow.model_name == "ResNet-50"
+        assert deep.model_name == "ResNet-101"
+        assert deep.total_weight_elements > shallow.total_weight_elements
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            build_resnet_with_depth(4, 0)
+
+    def test_smaller_batch_allows_deeper_network(self):
+        at_32 = deepest_resnet_that_fits(32)
+        at_8 = deepest_resnet_that_fits(8)
+        assert at_8.conv4_blocks > at_32.conv4_blocks
+        assert at_32.conv4_blocks >= 23  # at least ResNet-101 at batch 32
+
+    def test_tradeoff_table_monotone(self):
+        plans = depth_for_batch_tradeoff(batches=(8, 16, 32))
+        depths = [plan.conv4_blocks for plan in plans]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_plan_carries_throughput(self):
+        plan = deepest_resnet_that_fits(16)
+        assert plan.throughput > 0
+        assert plan.total_gib < 8.0

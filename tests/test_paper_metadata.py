@@ -1,0 +1,44 @@
+"""Tests binding the paper-metadata module to the rest of the repository."""
+
+import pytest
+
+from repro.core import paper
+from repro.core.observations import ALL_OBSERVATIONS
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestObservationTexts:
+    def test_thirteen_observations_quoted(self):
+        assert sorted(paper.OBSERVATIONS) == list(range(1, 14))
+
+    def test_every_check_has_a_quote(self):
+        assert len(ALL_OBSERVATIONS) == len(paper.OBSERVATIONS)
+
+    def test_quotes_are_nonempty_and_sectioned(self):
+        for record in paper.OBSERVATIONS.values():
+            assert len(record.quote) > 20
+            assert record.section.startswith("4")
+
+    def test_lookup(self):
+        assert "feature maps" in paper.observation(11).quote.lower()
+        with pytest.raises(KeyError):
+            paper.observation(14)
+
+
+class TestExhibitAnchors:
+    def test_every_experiment_has_an_anchor(self):
+        assert set(paper.EXHIBITS) == set(ALL_EXPERIMENTS)
+
+    def test_lookup(self):
+        anchor = paper.exhibit("fig9")
+        assert anchor.section == "4.4"
+        with pytest.raises(KeyError):
+            paper.exhibit("fig99")
+
+
+class TestCitation:
+    def test_citation_fields(self):
+        text = paper.citation()
+        assert "Zhu" in text
+        assert "IISWC 2018" in text
+        assert "1803.06905" in text

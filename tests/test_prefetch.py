@@ -1,0 +1,99 @@
+"""Tests for the discrete-event prefetch pipeline simulator."""
+
+import pytest
+
+from repro.data.prefetch import (
+    PrefetchConfig,
+    effective_throughput,
+    minimum_workers,
+    simulate_prefetch,
+)
+
+
+class TestCapacityCondition:
+    def test_minimum_workers(self):
+        assert minimum_workers(0.05, 0.1) == 1
+        assert minimum_workers(0.35, 0.1) == 4
+        with pytest.raises(ValueError):
+            minimum_workers(0.0, 0.1)
+
+
+class TestSteadyState:
+    def test_fast_decoders_never_stall(self):
+        config = PrefetchConfig(
+            workers=4, queue_depth=8, batch_decode_mean_s=0.02, batch_decode_cv=0.1
+        )
+        result = simulate_prefetch(config, iteration_time_s=0.1, iterations=400)
+        assert result.steady_state_stall_fraction < 0.01
+
+    def test_slow_decoders_bound_throughput(self):
+        """When aggregate decode rate < training rate, stall fraction
+        approaches the rate deficit regardless of queue depth."""
+        config = PrefetchConfig(
+            workers=1, queue_depth=64, batch_decode_mean_s=0.2, batch_decode_cv=0.05
+        )
+        result = simulate_prefetch(config, iteration_time_s=0.1, iterations=400)
+        # Trainer wants a batch every 0.1 s; decoder delivers every 0.2 s.
+        assert result.stall_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_more_workers_remove_the_stall(self):
+        slow = PrefetchConfig(workers=1, queue_depth=8, batch_decode_mean_s=0.2)
+        fast = PrefetchConfig(workers=4, queue_depth=8, batch_decode_mean_s=0.2)
+        stalled = simulate_prefetch(slow, 0.1, 300)
+        smooth = simulate_prefetch(fast, 0.1, 300)
+        assert smooth.stall_fraction < 0.15 * stalled.stall_fraction
+
+    def test_deeper_queue_absorbs_jitter(self):
+        """With capacity ~1x, jitter exposes stalls that depth hides."""
+        shallow = PrefetchConfig(
+            workers=2, queue_depth=1, batch_decode_mean_s=0.18, batch_decode_cv=0.6
+        )
+        deep = PrefetchConfig(
+            workers=2, queue_depth=16, batch_decode_mean_s=0.18, batch_decode_cv=0.6
+        )
+        exposed = simulate_prefetch(shallow, 0.1, 500)
+        hidden = simulate_prefetch(deep, 0.1, 500)
+        assert hidden.steady_state_stall_fraction < exposed.steady_state_stall_fraction
+
+    def test_effective_throughput(self):
+        config = PrefetchConfig(workers=4, queue_depth=8, batch_decode_mean_s=0.02)
+        throughput = effective_throughput(
+            config, iteration_time_s=0.1, samples_per_iteration=32
+        )
+        assert throughput == pytest.approx(320.0, rel=0.05)
+
+
+class TestWarmup:
+    def test_first_iterations_stall_until_queue_fills(self):
+        """Part of the warm-up phase the paper's sampling excludes."""
+        config = PrefetchConfig(
+            workers=2, queue_depth=8, batch_decode_mean_s=0.09, batch_decode_cv=0.1
+        )
+        result = simulate_prefetch(config, iteration_time_s=0.1, iterations=400)
+        assert result.warmup_stall_s > 0
+        assert result.steady_state_stall_fraction < result.stall_fraction
+
+
+class TestValidation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(workers=0, queue_depth=1, batch_decode_mean_s=0.1)
+        with pytest.raises(ValueError):
+            PrefetchConfig(workers=1, queue_depth=0, batch_decode_mean_s=0.1)
+        with pytest.raises(ValueError):
+            PrefetchConfig(workers=1, queue_depth=1, batch_decode_mean_s=0.0)
+
+    def test_simulate_validation(self):
+        config = PrefetchConfig(workers=1, queue_depth=1, batch_decode_mean_s=0.1)
+        with pytest.raises(ValueError):
+            simulate_prefetch(config, iteration_time_s=0.0)
+        with pytest.raises(ValueError):
+            simulate_prefetch(config, iteration_time_s=0.1, iterations=0)
+
+    def test_determinism(self):
+        config = PrefetchConfig(
+            workers=2, queue_depth=4, batch_decode_mean_s=0.1, seed=7
+        )
+        a = simulate_prefetch(config, 0.1, 200)
+        b = simulate_prefetch(config, 0.1, 200)
+        assert a == b

@@ -1,0 +1,130 @@
+"""Unit tests for timeline reconstruction and trace export."""
+
+import json
+
+import pytest
+
+from repro.profiling.export import (
+    kernel_stats_to_csv,
+    metrics_to_csv,
+    timeline_to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.profiling.kernel_trace import trace_from_profile
+from repro.profiling.timeline import build_timeline, timeline_for
+from repro.core.metrics import IterationMetrics
+from repro.training.session import TrainingSession
+
+
+@pytest.fixture(scope="module")
+def cnn_timeline():
+    return timeline_for(TrainingSession("resnet-50", "mxnet"), 32)
+
+
+@pytest.fixture(scope="module")
+def rnn_timeline():
+    return timeline_for(TrainingSession("nmt", "tensorflow"), 64)
+
+
+class TestTimelineConstruction:
+    def test_events_are_ordered_and_non_overlapping(self, cnn_timeline):
+        events = cnn_timeline.events
+        for before, after in zip(events, events[1:]):
+            assert after.start_s >= before.end_s - 1e-12
+
+    def test_busy_plus_idle_bounds_makespan(self, cnn_timeline):
+        combined = cnn_timeline.busy_s + cnn_timeline.idle_s
+        assert combined <= cnn_timeline.makespan_s + 1e-9
+        assert combined >= 0.95 * cnn_timeline.makespan_s
+
+    def test_matches_session_utilization(self):
+        session = TrainingSession("sockeye", "mxnet")
+        profile = session.run_iteration(64)
+        timeline = timeline_for(session, 64)
+        # The timeline excludes pipeline/host exposure, so compare against
+        # the kernel-level quantities.
+        assert timeline.busy_s == pytest.approx(profile.gpu_busy_time_s, rel=1e-9)
+
+    def test_event_fields(self, cnn_timeline):
+        event = cnn_timeline.events[10]
+        assert event.end_s > event.start_s
+        assert event.queue_delay_s >= 0.0
+
+    def test_rnn_timeline_has_host_sync_gaps(self, rnn_timeline):
+        causes = rnn_timeline.idle_by_cause()
+        assert causes.get("host sync", 0.0) > 0.0
+        # host syncs dominate the idle time for dynamic_rnn-style graphs
+        assert causes["host sync"] > causes.get("dispatch", 0.0)
+
+    def test_cnn_timeline_has_little_idle(self, cnn_timeline):
+        assert cnn_timeline.gpu_utilization > 0.9
+
+    def test_busy_by_category_sums_to_busy(self, cnn_timeline):
+        assert sum(cnn_timeline.busy_by_category().values()) == pytest.approx(
+            cnn_timeline.busy_s
+        )
+
+    def test_longest_gaps_sorted(self, rnn_timeline):
+        gaps = rnn_timeline.longest_gaps(5)
+        durations = [gap.duration_s for gap in gaps]
+        assert durations == sorted(durations, reverse=True)
+        with pytest.raises(ValueError):
+            rnn_timeline.longest_gaps(0)
+
+    def test_build_timeline_empty(self):
+        from repro.frameworks.registry import TENSORFLOW
+
+        timeline = build_timeline([], TENSORFLOW)
+        assert timeline.busy_s == 0.0
+        assert timeline.gpu_utilization == 0.0
+
+
+class TestChromeTraceExport:
+    def test_trace_structure(self, cnn_timeline):
+        trace = timeline_to_chrome_trace(cnn_timeline, process_name="test")
+        events = trace["traceEvents"]
+        assert events[0]["ph"] == "M"
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(cnn_timeline.events) + len(cnn_timeline.gaps)
+        assert all(e["dur"] >= 0 for e in complete)
+
+    def test_round_trips_through_json(self, cnn_timeline, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(cnn_timeline, str(path))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) > 100
+
+    def test_idle_events_on_separate_track(self, rnn_timeline):
+        trace = timeline_to_chrome_trace(rnn_timeline)
+        idle = [e for e in trace["traceEvents"] if e.get("cat") == "idle"]
+        assert idle
+        assert all(e["tid"] == 1 for e in idle)
+
+
+class TestCSVExport:
+    def test_kernel_stats_csv(self, tmp_path):
+        profile = TrainingSession("resnet-50", "mxnet").run_iteration(16)
+        trace = trace_from_profile(profile)
+        path = tmp_path / "kernels.csv"
+        text = kernel_stats_to_csv(trace, str(path))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("kernel,launches")
+        assert len(lines) > 10
+        assert path.read_text() == text
+
+    def test_kernel_stats_csv_to_buffer(self):
+        import io
+
+        profile = TrainingSession("wgan", "tensorflow").run_iteration(8)
+        buffer = io.StringIO()
+        kernel_stats_to_csv(trace_from_profile(profile), buffer)
+        assert "kernel" in buffer.getvalue()
+
+    def test_metrics_csv(self):
+        profile = TrainingSession("a3c", "mxnet").run_iteration(32)
+        text = metrics_to_csv([IterationMetrics.from_profile(profile)])
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert "A3C" in lines[1]

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.devices import QUADRO_P4000, TITAN_XP
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.memory import AllocationTag, GPUMemoryAllocator, OutOfMemoryError
+from repro.hardware.roofline import RooflineModel, speed_of_light_time
+from repro.kernels.base import Kernel, KernelCategory
+from repro.kernels.conv import ConvShape, conv2d_forward, conv_workspace_bytes
+from repro.kernels.gemm import gemm
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+_dims = st.integers(min_value=1, max_value=512)
+_roofline = RooflineModel(QUADRO_P4000)
+
+
+class TestRooflineProperties:
+    @given(m=_dims, n=_dims, k=_dims)
+    @settings(max_examples=60, deadline=None)
+    def test_gemm_time_positive_and_bounded_below_by_speed_of_light(self, m, n, k):
+        kernel = gemm(m, n, k)
+        timing = _roofline.time_kernel(kernel)
+        assert timing.duration_s > 0
+        assert timing.duration_s >= speed_of_light_time(kernel, QUADRO_P4000)
+
+    @given(m=_dims, n=_dims, k=_dims, factor=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_batch_never_reduces_time(self, m, n, k, factor):
+        small = _roofline.time_kernel(gemm(m, n, k))
+        large = _roofline.time_kernel(gemm(m * factor, n, k))
+        assert large.duration_s >= small.duration_s - 1e-12
+
+    @given(m=_dims, n=_dims, k=_dims)
+    @settings(max_examples=60, deadline=None)
+    def test_fp32_utilization_in_unit_interval(self, m, n, k):
+        timing = _roofline.time_kernel(gemm(m, n, k))
+        assert 0.0 <= timing.fp32_utilization <= 1.0
+
+    @given(m=_dims, n=_dims, k=_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_wider_device_faster_at_the_roofline(self, m, n, k):
+        """The Titan Xp's roofline term is never slower; its *total* time can
+        exceed the P4000's only by the occupancy-ramp difference (tiny
+        kernels saturate a wide device worse — Observation 10)."""
+        kernel = gemm(m, n, k)
+        p4 = _roofline.time_kernel(kernel)
+        xp = RooflineModel(TITAN_XP).time_kernel(kernel)
+        assert max(xp.compute_time_s, xp.memory_time_s) <= max(
+            p4.compute_time_s, p4.memory_time_s
+        ) * 1.001
+        ramp_delta = RooflineModel(TITAN_XP)._ramp_s - _roofline._ramp_s
+        assert xp.duration_s <= p4.duration_s + ramp_delta + 1e-12
+
+
+class TestAllocatorProperties:
+    @given(
+        sizes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10**7),
+                st.sampled_from(list(AllocationTag)),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_peaks_bound_current_and_capacity(self, sizes):
+        allocator = GPUMemoryAllocator(capacity_bytes=10**8)
+        handles = []
+        for size, tag in sizes:
+            try:
+                handles.append(allocator.allocate(size, tag))
+            except OutOfMemoryError:
+                break
+        snapshot = allocator.snapshot()
+        assert allocator.allocated_bytes <= allocator.capacity_bytes + 1e-6
+        assert snapshot.peak_total <= allocator.capacity_bytes + 1e-6
+        for tag in AllocationTag:
+            assert snapshot.peak_by_tag[tag] >= allocator.current_bytes(tag) - 1e-6
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10**6), min_size=1, max_size=20)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_free_everything_returns_to_zero(self, sizes):
+        allocator = GPUMemoryAllocator(capacity_bytes=10**9)
+        handles = [
+            allocator.allocate(size, AllocationTag.WORKSPACE) for size in sizes
+        ]
+        for handle in handles:
+            allocator.free(handle)
+        assert allocator.allocated_bytes == pytest.approx(0.0)
+
+    @given(
+        fractions=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=5
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fractions_sum_to_one_when_nonempty(self, fractions):
+        allocator = GPUMemoryAllocator(capacity_bytes=10**9)
+        total = sum(fractions)
+        if total == 0:
+            return
+        for fraction, tag in zip(fractions, AllocationTag):
+            allocator.allocate(fraction * 1e6, tag)
+        snapshot = allocator.snapshot()
+        assert sum(snapshot.fraction(tag) for tag in AllocationTag) == pytest.approx(
+            1.0
+        )
+
+
+class TestConvShapeProperties:
+    @given(
+        batch=st.integers(1, 16),
+        channels=st.integers(1, 64),
+        out_channels=st.integers(1, 64),
+        size=st.integers(7, 64),
+        kernel=st.sampled_from((1, 3, 5, 7)),
+        stride=st.sampled_from((1, 2)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flops_and_workspace_nonnegative(
+        self, batch, channels, out_channels, size, kernel, stride
+    ):
+        shape = ConvShape(
+            batch, channels, out_channels, size, size, kernel, kernel, stride, kernel // 2
+        )
+        assert conv2d_forward(shape).flops > 0
+        assert conv_workspace_bytes(shape) >= 0
+
+    @given(
+        batch=st.integers(1, 8),
+        size=st.integers(8, 32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_elements_scale_linearly_with_batch(self, batch, size):
+        base = ConvShape(1, 4, 8, size, size, 3, 3, 1, 1)
+        scaled = ConvShape(batch, 4, 8, size, size, 3, 3, 1, 1)
+        assert scaled.output_elements == batch * base.output_elements
+
+
+class TestInterconnectProperties:
+    @given(
+        bandwidth=st.floats(min_value=0.01, max_value=100.0),
+        latency=st.floats(min_value=0.0, max_value=1e-3),
+        a=st.floats(min_value=0.0, max_value=1e9),
+        b=st.floats(min_value=0.0, max_value=1e9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transfer_time_is_subadditive_and_monotone(self, bandwidth, latency, a, b):
+        link = Interconnect("x", bandwidth_gbs=bandwidth, latency_s=latency)
+        combined = link.transfer_time(a + b)
+        split = link.transfer_time(a) + link.transfer_time(b)
+        assert combined <= split + 1e-9  # one message beats two
+        assert link.transfer_time(a + b) >= link.transfer_time(a) - 1e-12
+
+
+class TestTensorProperties:
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, rows, cols):
+        gradient = np.ones((rows, cols), dtype=np.float32)
+        reduced = _unbroadcast(gradient, (1, cols))
+        assert reduced.shape == (1, cols)
+        assert np.allclose(reduced, rows)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        x = Tensor(np.array(values, dtype=np.float32), requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_log_exp_roundtrip_gradient(self, values):
+        x = Tensor(np.array(values, dtype=np.float32), requires_grad=True)
+        x.log().exp().sum().backward()
+        assert np.allclose(x.grad, 1.0, atol=1e-3)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_gradient_rows_sum_to_zero(self, seed):
+        from repro.tensor import functional as F
+
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(0, 2, size=(3, 5)).astype(np.float32), requires_grad=True)
+        F.log_softmax(x)[np.arange(3), np.array([0, 1, 2])].sum().backward()
+        assert np.allclose(x.grad.sum(axis=1), 0.0, atol=1e-4)
+
+
+class TestKernelScalingProperties:
+    @given(
+        flops=st.floats(min_value=1.0, max_value=1e12),
+        traffic=st.floats(min_value=1.0, max_value=1e12),
+        factor=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_preserves_intensity(self, flops, traffic, factor):
+        kernel = Kernel("k", KernelCategory.GEMM, flops, traffic)
+        scaled = kernel.scaled(factor)
+        assert scaled.arithmetic_intensity == pytest.approx(
+            kernel.arithmetic_intensity, rel=1e-6
+        )

@@ -1,0 +1,68 @@
+"""Tests for the optimization advisor."""
+
+import pytest
+
+from repro.core.analysis import AnalysisPipeline
+from repro.core.recommendations import advise
+from repro.distributed import DataParallelTrainer
+from repro.distributed.topology import configuration
+
+
+@pytest.fixture(scope="module")
+def lstm_report():
+    return AnalysisPipeline("nmt", "tensorflow").run(64)
+
+
+@pytest.fixture(scope="module")
+def cnn_report():
+    return AnalysisPipeline("resnet-50", "mxnet").run(32)
+
+
+class TestAdvise:
+    def test_lstm_gets_fusion_advice_first(self, lstm_report):
+        recommendations = advise(lstm_report)
+        assert recommendations
+        assert recommendations[0].rule == "launch-bound recurrence"
+        assert "fuse" in recommendations[0].advice
+
+    def test_every_recommendation_carries_evidence(self, lstm_report):
+        for recommendation in advise(lstm_report):
+            assert recommendation.evidence
+            assert recommendation.priority >= 1
+
+    def test_cnn_gets_memory_advice_not_fusion(self, cnn_report):
+        recommendations = advise(cnn_report)
+        rules = [r.rule for r in recommendations]
+        assert "launch-bound recurrence" not in rules
+        assert "feature-map-dominated footprint" in rules
+
+    def test_priorities_sorted(self, lstm_report):
+        recommendations = advise(lstm_report)
+        priorities = [r.priority for r in recommendations]
+        assert priorities == sorted(priorities)
+
+    def test_a3c_gets_environment_advice(self):
+        report = AnalysisPipeline("a3c", "mxnet").run(128)
+        rules = [r.rule for r in advise(report)]
+        assert "environment-bound training" in rules
+
+    def test_communication_bound_cluster_flagged(self, cnn_report):
+        trainer = DataParallelTrainer(
+            "resnet-50", "mxnet", configuration("2M1G (ethernet)")
+        )
+        profile = trainer.run_iteration(32)
+        recommendations = advise(cnn_report, distributed_profile=profile)
+        rules = [r.rule for r in recommendations]
+        assert "communication-bound scaling" in rules
+        top = recommendations[0]
+        assert top.priority == 1
+
+    def test_fast_fabric_not_flagged(self, cnn_report):
+        trainer = DataParallelTrainer("resnet-50", "mxnet", configuration("1M2G"))
+        profile = trainer.run_iteration(32)
+        rules = [r.rule for r in advise(cnn_report, distributed_profile=profile)]
+        assert "communication-bound scaling" not in rules
+
+    def test_str_rendering(self, lstm_report):
+        text = str(advise(lstm_report)[0])
+        assert text.startswith("[P1]")

@@ -1,0 +1,136 @@
+"""Tests for measurement statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiling.sampling import IterationTimeline, StablePhaseSampler
+from repro.profiling.statistics import (
+    bootstrap_ci,
+    compare,
+    required_sample_count,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_ci_narrows_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(100, 5, 20))
+        large = summarize(rng.normal(100, 5, 2000))
+        assert large.ci_half_width_fraction < small.ci_half_width_fraction
+
+    def test_ci_covers_truth_usually(self):
+        rng = np.random.default_rng(1)
+        covered = 0
+        for trial in range(100):
+            summary = summarize(rng.normal(50.0, 4.0, 60))
+            if summary.ci_low <= 50.0 <= summary.ci_high:
+                covered += 1
+        assert covered >= 88  # ~95% nominal coverage
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([1.0])
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], confidence=0.5)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1.0, max_value=100.0), min_size=2, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_property(self, values):
+        summary = summarize(values)
+        eps = 1e-9 * max(1.0, abs(summary.mean))
+        assert summary.minimum - eps <= summary.mean <= summary.maximum + eps
+        assert summary.ci_low - eps <= summary.mean <= summary.ci_high + eps
+
+
+class TestBootstrap:
+    def test_agrees_with_normal_theory_on_gaussian_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(100, 5, 400)
+        summary = summarize(data)
+        low, high = bootstrap_ci(data, seed=1)
+        assert low == pytest.approx(summary.ci_low, abs=0.5)
+        assert high == pytest.approx(summary.ci_high, abs=0.5)
+
+    def test_deterministic_by_seed(self):
+        data = np.arange(50, dtype=float)
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], resamples=0)
+
+
+class TestRequiredSamples:
+    def test_tighter_precision_needs_more_samples(self):
+        rng = np.random.default_rng(0)
+        pilot = rng.normal(100, 10, 50)
+        loose = required_sample_count(pilot, relative_precision=0.05)
+        tight = required_sample_count(pilot, relative_precision=0.01)
+        assert tight > 20 * loose * 0.9  # ~(5x)^2
+
+    def test_noisier_measurements_need_more_samples(self):
+        rng = np.random.default_rng(0)
+        quiet = required_sample_count(rng.normal(100, 1, 50))
+        noisy = required_sample_count(rng.normal(100, 10, 50))
+        assert noisy > quiet
+
+    def test_paper_rule_of_thumb_is_justified(self):
+        """With the stable phase's ~2% iteration jitter, the paper's
+        50-1000 sample window achieves ~1% reporting precision."""
+        timeline = IterationTimeline(stable_iteration_s=0.1, jitter=0.02)
+        durations = timeline.durations(1500)
+        sampler = StablePhaseSampler()
+        window = sampler.choose_window(durations, 500)
+        stable = durations[window.start_iteration : window.end_iteration]
+        needed = required_sample_count(stable, relative_precision=0.01)
+        assert needed <= 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_sample_count([1.0, 2.0], relative_precision=0.0)
+
+
+class TestCompare:
+    def test_clear_winner(self):
+        rng = np.random.default_rng(0)
+        result = compare(
+            rng.normal(110, 5, 200), rng.normal(100, 5, 200), ("mxnet", "tf")
+        )
+        assert result.significant
+        assert result.faster == "mxnet"
+        assert result.ci_low > 0
+
+    def test_indistinguishable(self):
+        rng = np.random.default_rng(0)
+        result = compare(rng.normal(100, 20, 10), rng.normal(100, 20, 10))
+        assert not result.significant
+        assert result.faster == "indistinguishable"
+
+    def test_direction(self):
+        rng = np.random.default_rng(0)
+        result = compare(
+            rng.normal(90, 2, 100), rng.normal(100, 2, 100), ("a", "b")
+        )
+        assert result.faster == "b"
+        assert result.mean_difference < 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare([1.0], [1.0, 2.0])

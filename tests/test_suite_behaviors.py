@@ -1,0 +1,143 @@
+"""Behavioural edge coverage for the suite, sweeps and metric records —
+the paths the headline tests don't reach."""
+
+import pytest
+
+from repro.core.metrics import IterationMetrics
+from repro.core.suite import SweepPoint, TBDSuite, standard_suite
+from repro.experiments.common import SWEEP_PANELS, SweepSeries, run_sweeps
+from repro.hardware.devices import GTX_580, TITAN_XP
+from repro.hardware.memory import OutOfMemoryError
+from repro.training.session import TrainingSession
+
+
+class TestSuiteEdges:
+    def test_sweep_with_custom_batches(self, suite):
+        points = suite.sweep("wgan", "tensorflow", batch_sizes=(8, 24))
+        assert [p.batch_size for p in points] == [8, 24]
+        assert all(not p.oom for p in points)
+
+    def test_sweep_point_record(self):
+        point = SweepPoint(batch_size=8, oom=True)
+        assert point.metrics is None
+
+    def test_run_propagates_oom(self, suite):
+        with pytest.raises(OutOfMemoryError):
+            suite.run("deep-speech-2", "mxnet", 16)
+
+    def test_unknown_framework_for_model(self, suite):
+        with pytest.raises(ValueError, match="no CNTK implementation"):
+            suite.run("nmt", "cntk")
+
+    def test_model_accessor_uses_aliases(self, suite):
+        assert suite.model("resnet").display_name == "ResNet-50"
+
+    def test_gtx580_suite_hits_memory_walls_early(self):
+        old = TBDSuite(gpu=GTX_580)
+        points = old.sweep("resnet-50", "mxnet")
+        assert any(point.oom for point in points)
+
+    def test_throughput_scales_down_on_older_hardware(self, suite):
+        old = TBDSuite(gpu=GTX_580)
+        # WGAN at batch 4 fits even 1.5 GB.
+        slow = old.run("wgan", "tensorflow", 4).throughput
+        fast = suite.run("wgan", "tensorflow", 4).throughput
+        assert fast > 1.5 * slow
+
+    def test_compare_frameworks_returns_all_three_for_images(self, suite):
+        results = suite.compare_frameworks("inception-v3", 16)
+        throughputs = {key: m.throughput for key, m in results.items()}
+        assert throughputs["mxnet"] > throughputs["tensorflow"]  # Obs. 3
+
+    def test_titan_suite_sweeps(self):
+        xp = TBDSuite(gpu=TITAN_XP)
+        points = xp.sweep("resnet-50", "mxnet", (16, 32))
+        values = [p.metrics.throughput for p in points]
+        assert values == sorted(values)
+
+
+class TestSweepHelpers:
+    def test_panel_list_matches_figures(self):
+        models = [model for model, _ in SWEEP_PANELS]
+        assert models == [
+            "resnet-50",
+            "inception-v3",
+            "nmt",
+            "sockeye",
+            "transformer",
+            "wgan",
+            "deep-speech-2",
+            "a3c",
+        ]
+
+    def test_series_finite_filters_oom(self):
+        series = SweepSeries(
+            model="m",
+            framework="f",
+            batch_sizes=(8, 16, 32),
+            values=(1.0, None, 3.0),
+        )
+        assert series.finite() == [(8, 1.0), (32, 3.0)]
+
+    def test_run_sweeps_metric_selection(self, suite):
+        series = run_sweeps("gpu_utilization", suite)
+        for entry in series:
+            for _, value in entry.finite():
+                assert 0.0 < value <= 1.0
+
+    def test_sockeye_sweep_has_no_oom_within_paper_range(self, suite):
+        series = {
+            (s.model, s.framework): s for s in run_sweeps("throughput", suite)
+        }
+        sockeye = series[("sockeye", "mxnet")]
+        assert None not in sockeye.values  # the paper's sweep stops at 64
+
+
+class TestMetricRecords:
+    def test_format_row_contains_all_metrics(self):
+        profile = TrainingSession("a3c", "mxnet").run_iteration(64)
+        record = IterationMetrics.from_profile(profile, "samples/s")
+        row = record.format_row()
+        for fragment in ("A3C", "MXNet", "gpu=", "fp32=", "cpu="):
+            assert fragment in row
+
+    def test_units_preserved(self, suite):
+        ds2 = suite.run("deep-speech-2", "mxnet", 2)
+        assert ds2.throughput_unit == "audio seconds/s"
+        transformer = suite.run("transformer", "tensorflow", 256)
+        assert transformer.throughput_unit == "tokens/s"
+
+    def test_iteration_time_consistency(self, suite):
+        metrics = suite.run("wgan", "tensorflow", 16)
+        assert metrics.throughput == pytest.approx(
+            16.0 / metrics.iteration_time_s, rel=1e-6
+        )
+
+
+class TestSessionEdges:
+    def test_simulate_graph_matches_run_iteration(self):
+        session = TrainingSession("inception-v3", "cntk")
+        graph = session.spec.build(16)
+        direct = session.simulate_graph(graph)
+        full = session.run_iteration(16)
+        assert direct.iteration_time_s == pytest.approx(full.iteration_time_s)
+        assert direct.memory is None and full.memory is not None
+
+    def test_display_name_override(self):
+        session = TrainingSession("resnet-50", "mxnet")
+        graph = session.spec.build(8)
+        profile = session.simulate_graph(graph, display_name="custom")
+        assert profile.model == "custom"
+
+    def test_kernel_stream_starts_with_h2d_copy(self):
+        session = TrainingSession("resnet-50", "mxnet")
+        kernels = session._iteration_kernels(session.spec.build(8))
+        assert "HtoD" in kernels[0].name
+
+    def test_update_kernels_one_per_weighted_layer(self):
+        session = TrainingSession("a3c", "mxnet")
+        graph = session.spec.build(8)
+        kernels = session._iteration_kernels(graph)
+        updates = [k for k in kernels if "sgd" in k.name]
+        weighted = [l for l in graph.layers if l.weight_elements > 0]
+        assert len(updates) == len(weighted)

@@ -1,0 +1,142 @@
+"""Unit tests for the autodiff engine: numeric gradient checks on every
+primitive, broadcasting, and graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.tensor import Tensor, concatenate, no_grad, stack
+
+
+def numeric_gradient(fn, array, index, eps=1e-3):
+    """Central-difference gradient of scalar ``fn`` w.r.t. array[index]."""
+    original = array[index]
+    array[index] = original + eps
+    hi = fn()
+    array[index] = original - eps
+    lo = fn()
+    array[index] = original
+    return (hi - lo) / (2 * eps)
+
+
+def check_gradients(build, *shapes, seed=0, tol=2e-2):
+    """Compare analytic and numeric gradients for a scalar-valued graph."""
+    rng = np.random.default_rng(seed)
+    tensors = [
+        Tensor(rng.normal(0.5, 0.8, size=shape).astype(np.float32), requires_grad=True)
+        for shape in shapes
+    ]
+    out = build(*tensors)
+    out.backward()
+    for tensor in tensors:
+        assert tensor.grad is not None, "missing gradient"
+        flat_indices = [
+            np.unravel_index(i, tensor.shape)
+            for i in range(0, tensor.data.size, max(1, tensor.data.size // 5))
+        ]
+        for index in flat_indices:
+            numeric = numeric_gradient(
+                lambda: float(build(*tensors).data.sum()), tensor.data, index
+            )
+            analytic = tensor.grad[index]
+            assert analytic == pytest.approx(numeric, rel=tol, abs=tol), (
+                tensor.shape,
+                index,
+            )
+
+
+class TestGradChecks:
+    def test_add(self):
+        check_gradients(lambda a, b: (a + b).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_gradients(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_mul(self):
+        check_gradients(lambda a, b: (a * b).sum(), (2, 3), (2, 3))
+
+    def test_div(self):
+        check_gradients(lambda a, b: (a / (b * b + 1.0)).sum(), (4,), (4,))
+
+    def test_matmul(self):
+        check_gradients(lambda a, b: (a @ b).sum(), (3, 4), (4, 2))
+
+    def test_pow(self):
+        check_gradients(lambda a: ((a * a + 1.0) ** 1.5).sum(), (5,))
+
+    def test_exp_log(self):
+        check_gradients(lambda a: ((a * a + 1.0).log().exp()).sum(), (4,))
+
+    def test_sigmoid_tanh_relu(self):
+        check_gradients(lambda a: a.sigmoid().sum(), (6,))
+        check_gradients(lambda a: a.tanh().sum(), (6,))
+        check_gradients(lambda a: (a + 0.01).relu().sum(), (6,))
+
+    def test_reductions(self):
+        check_gradients(lambda a: a.sum(axis=0).sum(), (3, 4))
+        check_gradients(lambda a: a.mean(axis=1).sum(), (3, 4))
+
+    def test_reshape_transpose(self):
+        check_gradients(lambda a: (a.reshape(6, 2).transpose() * 2.0).sum(), (3, 4))
+
+    def test_getitem(self):
+        check_gradients(lambda a: (a[1:, :2] * 3.0).sum(), (3, 4))
+
+    def test_concatenate(self):
+        check_gradients(
+            lambda a, b: (concatenate([a, b], axis=1) ** 2.0).sum(), (2, 3), (2, 2)
+        )
+
+    def test_stack(self):
+        check_gradients(lambda a, b: (stack([a, b]) ** 2.0).sum(), (2, 3), (2, 3))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_multiple_uses(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = (x * 2.0 + x * 3.0).sum()
+        out.backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_backward_requires_scalar_or_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (x * 2.0).backward()
+        (x * 2.0).backward(np.ones((2, 2)))
+        assert np.allclose(x.grad, 2.0)
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_disables_recording(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = (x * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        assert not x.detach().requires_grad
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor(np.array([1.0, 1.0, 0.0], dtype=np.float32), requires_grad=True)
+        x.max().backward()
+        assert np.allclose(x.grad, [0.5, 0.5, 0.0])
+
+    def test_scalar_helpers(self):
+        x = Tensor(3.0)
+        assert x.item() == 3.0
+        assert x.size == 1
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        out = (1.0 - x) + (4.0 / x)
+        out.sum().backward()
+        assert x.grad[0] == pytest.approx(-1.0 - 4.0 / 4.0)

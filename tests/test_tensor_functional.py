@@ -1,0 +1,187 @@
+"""Unit tests for NN ops: conv/pool/batchnorm/softmax/losses with numeric
+gradient verification."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def _randn(shape, seed=0):
+    return np.random.default_rng(seed).normal(0, 1, size=shape).astype(np.float32)
+
+
+class TestConv2d:
+    def test_matches_manual_convolution(self):
+        x = Tensor(_randn((1, 1, 4, 4)))
+        w = Tensor(_randn((1, 1, 3, 3), seed=1))
+        out = F.conv2d(x, w, stride=1, padding=0)
+        expected = np.zeros((2, 2), dtype=np.float32)
+        for i in range(2):
+            for j in range(2):
+                expected[i, j] = (
+                    x.data[0, 0, i : i + 3, j : j + 3] * w.data[0, 0]
+                ).sum()
+        assert np.allclose(out.data[0, 0], expected, atol=1e-5)
+
+    def test_output_shape_with_stride_and_padding(self):
+        x = Tensor(_randn((2, 3, 8, 8)))
+        w = Tensor(_randn((5, 3, 3, 3)))
+        out = F.conv2d(x, w, stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_gradients_numerically(self):
+        x = Tensor(_randn((2, 2, 5, 5)), requires_grad=True)
+        w = Tensor(_randn((3, 2, 3, 3), seed=1), requires_grad=True)
+        b = Tensor(_randn((3,), seed=2), requires_grad=True)
+
+        def loss():
+            return float((F.conv2d(x, w, b, stride=1, padding=1).data ** 2).sum())
+
+        out = F.conv2d(x, w, b, stride=1, padding=1)
+        (out * out).sum().backward()
+        eps = 1e-3
+        for tensor, index in ((x, (0, 1, 2, 2)), (w, (1, 0, 1, 1)), (b, (2,))):
+            original = tensor.data[index]
+            tensor.data[index] = original + eps
+            hi = loss()
+            tensor.data[index] = original - eps
+            lo = loss()
+            tensor.data[index] = original
+            numeric = (hi - lo) / (2 * eps)
+            assert tensor.grad[index] == pytest.approx(numeric, rel=2e-2, abs=2e-2)
+
+    def test_channel_mismatch_rejected(self):
+        x = Tensor(_randn((1, 2, 4, 4)))
+        w = Tensor(_randn((1, 3, 3, 3)))
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(x, w)
+
+    def test_rectangular_kernel_rejected(self):
+        x = Tensor(_randn((1, 1, 4, 4)))
+        w = Tensor(_randn((1, 1, 1, 3)))
+        with pytest.raises(ValueError, match="square"):
+            F.conv2d(x, w)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(data), kernel=2)
+        assert np.array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_gradient_flows_to_argmax(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        assert np.array_equal(x.grad[0, 0], expected)
+
+    def test_overlapping_windows_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            F.max_pool2d(Tensor(_randn((1, 1, 4, 4))), kernel=3, stride=1)
+
+    def test_global_average_pool(self):
+        x = Tensor(np.ones((2, 3, 4, 4), dtype=np.float32))
+        out = F.avg_pool2d_global(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out.data, 1.0)
+
+
+class TestNormalization:
+    def test_batch_norm_normalizes(self):
+        x = Tensor(_randn((64, 8)) * 5.0 + 3.0)
+        gamma = Tensor(np.ones(8, dtype=np.float32))
+        beta = Tensor(np.zeros(8, dtype=np.float32))
+        out = F.batch_norm(x, gamma, beta)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_batch_norm_gradients_flow(self):
+        x = Tensor(_randn((8, 4)), requires_grad=True)
+        gamma = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        beta = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        (F.batch_norm(x, gamma, beta) ** 2.0).sum().backward()
+        assert x.grad is not None
+        assert gamma.grad is not None
+        assert beta.grad is not None
+
+
+class TestSoftmaxAndLosses:
+    def test_softmax_rows_sum_to_one(self):
+        logits = Tensor(_randn((5, 7)) * 10.0)
+        probs = F.softmax(logits)
+        assert np.allclose(probs.data.sum(axis=1), 1.0, atol=1e-5)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        logits = Tensor(np.array([[1000.0, 0.0]], dtype=np.float32))
+        out = F.log_softmax(logits)
+        assert np.isfinite(out.data).all()
+
+    def test_cross_entropy_of_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[20.0, 0.0], [0.0, 20.0]], dtype=np.float32))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_uniform_is_log_classes(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10.0), rel=1e-4)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3), dtype=np.float32), requires_grad=True)
+        F.cross_entropy(logits, np.array([1])).backward()
+        # Gradient pushes the target logit up (negative grad) and others down.
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2))
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3))), np.zeros(3))
+
+    def test_mse(self):
+        prediction = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        loss = F.mse(prediction, np.array([0.0, 0.0], dtype=np.float32))
+        assert loss.item() == pytest.approx(2.5)
+        loss.backward()
+        assert np.allclose(prediction.grad, [1.0, 2.0])
+
+    def test_accuracy(self):
+        logits = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32))
+        assert F.accuracy(logits, np.array([0, 1])) == 1.0
+        assert F.accuracy(logits, np.array([1, 1])) == 0.5
+
+
+class TestEmbeddingAndDropout:
+    def test_embedding_gathers_rows(self):
+        table = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        out = F.embedding(table, np.array([1, 3]))
+        assert np.array_equal(out.data, table.data[[1, 3]])
+
+    def test_embedding_scatter_add_gradient(self):
+        table = Tensor(np.zeros((4, 2), dtype=np.float32), requires_grad=True)
+        out = F.embedding(table, np.array([1, 1, 2]))
+        out.sum().backward()
+        assert np.allclose(table.grad[1], 2.0)
+        assert np.allclose(table.grad[2], 1.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+    def test_dropout_inverted_scaling(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = F.dropout(x, 0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.35 < (out.data > 0).mean() < 0.65
+
+    def test_dropout_identity_in_eval(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(10, dtype=np.float32))
+        assert F.dropout(x, 0.5, rng, training=False) is x
+
+    def test_dropout_rate_validation(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0))

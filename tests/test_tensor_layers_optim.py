@@ -1,0 +1,167 @@
+"""Unit tests for layers, optimizers, and their interaction."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F
+from repro.tensor.layers import (
+    BatchNorm1d,
+    Conv2d,
+    Dense,
+    Dropout,
+    Embedding,
+    LSTMCell,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.tensor.optim import SGD, Adam, Optimizer
+from repro.tensor.tensor import Tensor
+
+
+def _input(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(0, 1, size=shape).astype(np.float32))
+
+
+class TestModules:
+    def test_dense_shapes_and_params(self):
+        layer = Dense(8, 4)
+        out = layer(_input((2, 8)))
+        assert out.shape == (2, 4)
+        assert layer.parameter_count() == 8 * 4 + 4
+
+    def test_dense_without_bias(self):
+        layer = Dense(8, 4, bias=False)
+        assert layer.parameter_count() == 32
+
+    def test_conv_shapes(self):
+        layer = Conv2d(3, 6, 3, stride=2, padding=1)
+        out = layer(_input((2, 3, 8, 8)))
+        assert out.shape == (2, 6, 4, 4)
+
+    def test_sequential_chains(self):
+        model = Sequential(Dense(4, 8), ReLU(), Dense(8, 2))
+        out = model(_input((3, 4)))
+        assert out.shape == (3, 2)
+        assert len(model.parameters()) == 4
+
+    def test_parameters_deduplicated(self):
+        shared = Dense(4, 4)
+        model = Sequential(shared, ReLU(), shared)
+        assert len(model.parameters()) == 2
+
+    def test_train_eval_mode_propagates(self):
+        model = Sequential(Dense(4, 4), Dropout(0.5))
+        model.eval()
+        assert not model.modules[1].training
+        model.train()
+        assert model.modules[1].training
+
+    def test_dropout_module_eval_is_identity(self):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = _input((100,))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_batchnorm1d(self):
+        layer = BatchNorm1d(4)
+        out = layer(_input((32, 4)))
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_embedding_module(self):
+        layer = Embedding(10, 4)
+        out = layer(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lstm_cell_step(self):
+        cell = LSTMCell(8, 16)
+        h, c = cell.initial_state(4)
+        h, c = cell(_input((4, 8)), (h, c))
+        assert h.shape == (4, 16)
+        assert c.shape == (4, 16)
+        # Cell keeps bounded activations.
+        assert np.abs(h.data).max() <= 1.0
+
+    def test_zero_grad_clears_all(self):
+        model = Dense(4, 4)
+        out = model(_input((2, 4)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_forward_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer_cls, **kwargs):
+        target = np.array([3.0, -2.0], dtype=np.float32)
+        parameter = Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)
+        optimizer = optimizer_cls([parameter], **kwargs)
+        for _ in range(300):
+            loss = F.mse(parameter * 1.0, target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return parameter.data, target
+
+    def test_sgd_converges_on_quadratic(self):
+        value, target = self._quadratic_step(SGD, learning_rate=0.1)
+        assert np.allclose(value, target, atol=1e-2)
+
+    def test_sgd_momentum_converges(self):
+        value, target = self._quadratic_step(SGD, learning_rate=0.05, momentum=0.9)
+        assert np.allclose(value, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        value, target = self._quadratic_step(Adam, learning_rate=0.1)
+        assert np.allclose(value, target, atol=5e-2)
+
+    def test_momentum_buffers_allocated_dynamically(self):
+        """The paper's 'dynamic' memory class: optimizer state appears at the
+        first step, not at construction."""
+        parameter = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1, momentum=0.9)
+        assert optimizer.allocation_log == []
+        loss = (parameter * parameter).sum()
+        loss.backward()
+        optimizer.step()
+        assert len(optimizer.allocation_log) == 1
+        label, nbytes, phase = optimizer.allocation_log[0]
+        assert phase == "dynamic"
+        assert nbytes == parameter.data.nbytes
+
+    def test_adam_allocates_two_moments(self):
+        parameter = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        optimizer = Adam([parameter])
+        (parameter * parameter).sum().backward()
+        optimizer.step()
+        assert optimizer.allocation_log[0][1] == 2 * parameter.data.nbytes
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1, weight_decay=0.5)
+        parameter.grad = np.zeros(2, dtype=np.float32)
+        optimizer.step()
+        assert np.all(parameter.data < 1.0)
+
+    def test_parameters_without_grad_skipped(self):
+        parameter = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1)
+        optimizer.step()  # no grad -> no change
+        assert np.allclose(parameter.data, 1.0)
+
+    def test_validation(self):
+        parameter = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(ValueError):
+            SGD([parameter], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], learning_rate=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam([parameter], learning_rate=0.0)
+        with pytest.raises(NotImplementedError):
+            Optimizer([parameter])._update(parameter)

@@ -1,0 +1,158 @@
+"""Real end-to-end training of the miniature model families.
+
+These tests run genuine gradient descent through the autodiff engine on the
+synthetic datasets — demonstrating that every TBD model family (CNN
+classifier, seq2seq translator, GAN, actor-critic) actually *trains* in
+this repository, not just simulates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F
+from repro.tensor.minimodels import (
+    TinyActorCritic,
+    TinyCritic,
+    TinyGenerator,
+    TinyResNet,
+    TinySeq2Seq,
+)
+from repro.tensor.optim import SGD, Adam
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def _image_batch(rng, batch, classes, size=10):
+    labels = rng.integers(0, classes, size=batch)
+    coords = np.linspace(0.0, np.pi, size, dtype=np.float32)
+    images = rng.normal(0.0, 0.3, size=(batch, 3, size, size)).astype(np.float32)
+    for index, label in enumerate(labels):
+        images[index] += np.sin((1 + label) * coords)[None, :, None]
+    return images.astype(np.float32), labels
+
+
+class TestTinyResNet:
+    def test_learns_synthetic_image_classes(self):
+        rng = np.random.default_rng(0)
+        model = TinyResNet(channels=8, classes=4)
+        optimizer = SGD(model.parameters(), learning_rate=0.05, momentum=0.9)
+        first_loss = None
+        for _ in range(60):
+            images, labels = _image_batch(rng, 16, 4)
+            loss = F.cross_entropy(model(Tensor(images)), labels)
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        images, labels = _image_batch(rng, 64, 4)
+        with no_grad():
+            accuracy = F.accuracy(model(Tensor(images)), labels)
+        assert loss.item() < 0.5 * first_loss
+        assert accuracy > 0.6  # chance is 0.25
+
+    def test_residual_path_carries_gradient(self):
+        model = TinyResNet(channels=4, classes=2)
+        images, labels = _image_batch(np.random.default_rng(1), 4, 2)
+        loss = F.cross_entropy(model(Tensor(images)), labels)
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestTinySeq2Seq:
+    def test_loss_decreases_on_reversal_task(self):
+        rng = np.random.default_rng(0)
+        model = TinySeq2Seq(vocab=12, embed=12, hidden=24)
+        optimizer = Adam(model.parameters(), learning_rate=0.02)
+        losses = []
+        for _ in range(60):
+            source = rng.integers(1, 12, size=(8, 4))
+            target = (source[:, ::-1] + 1) % 12
+            target_in = np.concatenate(
+                [np.zeros((8, 1), dtype=np.int64), target[:, :-1]], axis=1
+            )
+            loss = model.loss(source, target_in, target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.7 * losses[0]
+
+    def test_teacher_forced_logits_shape(self):
+        model = TinySeq2Seq(vocab=10, embed=8, hidden=16)
+        logits = model(np.ones((2, 3), dtype=np.int64), np.ones((2, 5), dtype=np.int64))
+        assert logits.shape == (2, 5, 10)
+
+
+class TestTinyGAN:
+    def test_wasserstein_critic_separates_real_from_fake(self):
+        rng = np.random.default_rng(0)
+        generator = TinyGenerator(latent=4, image_elements=16)
+        critic = TinyCritic(image_elements=16)
+        critic_opt = Adam(critic.parameters(), learning_rate=0.01)
+        # Real data: a fixed bimodal pattern the generator starts far from.
+        def real_batch(batch):
+            return np.sign(rng.normal(0.5, 1.0, size=(batch, 16))).astype(np.float32)
+
+        for _ in range(80):
+            real = Tensor(real_batch(32))
+            with no_grad():
+                z = Tensor(rng.normal(0, 1, size=(32, 4)).astype(np.float32))
+                fake_data = generator(z).data
+            fake = Tensor(fake_data)
+            # Critic maximizes score(real) - score(fake).
+            loss = critic(fake).mean() - critic(real).mean()
+            critic_opt.zero_grad()
+            loss.backward()
+            critic_opt.step()
+        real_score = critic(Tensor(real_batch(64))).data.mean()
+        with no_grad():
+            z = Tensor(rng.normal(0, 1, size=(64, 4)).astype(np.float32))
+            fake_score = critic(Tensor(generator(z).data)).data.mean()
+        assert real_score > fake_score + 0.5
+
+    def test_generator_chases_critic(self):
+        rng = np.random.default_rng(1)
+        generator = TinyGenerator(latent=4, image_elements=16)
+        critic = TinyCritic(image_elements=16)
+        gen_opt = Adam(generator.parameters(), learning_rate=0.02)
+        z = Tensor(rng.normal(0, 1, size=(16, 4)).astype(np.float32))
+        before = critic(generator(z)).data.mean()
+        for _ in range(40):
+            loss = -critic(generator(z)).mean()
+            gen_opt.zero_grad()
+            loss.backward()
+            gen_opt.step()
+        after = critic(generator(z)).data.mean()
+        assert after > before
+
+
+class TestTinyActorCritic:
+    def test_policy_learns_to_track_signal(self):
+        rng = np.random.default_rng(0)
+        model = TinyActorCritic(frame_stack=2, frame=12, actions=4)
+        optimizer = Adam(model.parameters(), learning_rate=0.01)
+        def batch(size):
+            actions = rng.integers(0, 4, size=size)
+            frames = rng.normal(0, 0.1, size=(size, 2, 12, 12)).astype(np.float32)
+            for i, a in enumerate(actions):
+                col = int(a) * 3
+                frames[i, :, :, col : col + 2] += 1.0
+            return frames, actions
+
+        first = None
+        for _ in range(80):
+            frames, actions = batch(16)
+            policy_logits, value = model(Tensor(frames))
+            policy_loss = F.cross_entropy(policy_logits, actions)
+            value_loss = F.mse(value, np.ones((16, 1), dtype=np.float32))
+            loss = policy_loss + 0.5 * value_loss
+            if first is None:
+                first = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        frames, actions = batch(64)
+        with no_grad():
+            policy_logits, value = model(Tensor(frames))
+        assert F.accuracy(policy_logits, actions) > 0.5  # chance is 0.25
+        assert abs(value.data.mean() - 1.0) < 0.3

@@ -1,0 +1,181 @@
+"""Tests for training-loop utilities: schedules, clipping, Trainer,
+checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import functional as F
+from repro.tensor.layers import Dense, Sequential, ReLU
+from repro.tensor.optim import SGD
+from repro.tensor.tensor import Tensor
+from repro.tensor.train import (
+    ConstantSchedule,
+    InverseSqrtSchedule,
+    StepDecaySchedule,
+    Trainer,
+    clip_gradients,
+    global_gradient_norm,
+    load_checkpoint,
+    load_state_dict,
+    make_schedule,
+    save_checkpoint,
+    state_dict,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule().multiplier(0) == 1.0
+        assert ConstantSchedule().multiplier(10**6) == 1.0
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(period=100, gamma=0.1)
+        assert schedule.multiplier(0) == 1.0
+        assert schedule.multiplier(99) == 1.0
+        assert schedule.multiplier(100) == pytest.approx(0.1)
+        assert schedule.multiplier(250) == pytest.approx(0.01)
+
+    def test_inverse_sqrt_warms_up_then_decays(self):
+        schedule = InverseSqrtSchedule(warmup_steps=100)
+        ramp = [schedule.multiplier(s) for s in (1, 50, 100)]
+        assert ramp == sorted(ramp)
+        assert schedule.multiplier(100) > schedule.multiplier(400)
+
+    def test_factory(self):
+        assert isinstance(make_schedule("constant"), ConstantSchedule)
+        assert isinstance(make_schedule("step", period=10), StepDecaySchedule)
+        assert isinstance(make_schedule("inverse_sqrt"), InverseSqrtSchedule)
+        with pytest.raises(KeyError):
+            make_schedule("cyclic")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecaySchedule(period=0)
+        with pytest.raises(ValueError):
+            InverseSqrtSchedule(warmup_steps=0)
+
+    def test_apply_sets_optimizer_rate(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=1.0)
+        StepDecaySchedule(period=10).apply(optimizer, 1.0, step=25)
+        assert optimizer.learning_rate == pytest.approx(0.01)
+
+
+class TestGradientClipping:
+    def test_norm_computation(self):
+        parameter = Tensor(np.zeros(4), requires_grad=True)
+        parameter.grad = np.array([3.0, 4.0, 0.0, 0.0], dtype=np.float32)
+        assert global_gradient_norm([parameter]) == pytest.approx(5.0)
+
+    def test_clipping_scales_down(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        parameter.grad = np.array([30.0, 40.0], dtype=np.float32)
+        norm = clip_gradients([parameter], max_norm=5.0)
+        assert norm == pytest.approx(50.0)
+        assert global_gradient_norm([parameter]) == pytest.approx(5.0, rel=1e-4)
+
+    def test_small_gradients_untouched(self):
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        parameter.grad = np.array([0.3, 0.4], dtype=np.float32)
+        clip_gradients([parameter], max_norm=5.0)
+        assert global_gradient_norm([parameter]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_gradients([], max_norm=0.0)
+
+
+def _regression_setup(seed=0):
+    rng = np.random.default_rng(seed)
+    model = Sequential(Dense(4, 16, rng=rng), ReLU(), Dense(16, 1, rng=rng))
+    optimizer = SGD(model.parameters(), learning_rate=0.05, momentum=0.9)
+    true_w = rng.normal(0, 1, size=(4, 1)).astype(np.float32)
+
+    def batch_source(step):
+        x = rng.normal(0, 1, size=(16, 4)).astype(np.float32)
+        return x, x @ true_w
+
+    def loss_fn(m, batch):
+        x, y = batch
+        return F.mse(m(Tensor(x)), y)
+
+    return model, optimizer, loss_fn, batch_source
+
+
+class TestTrainer:
+    def test_fit_reduces_loss(self):
+        model, optimizer, loss_fn, batches = _regression_setup()
+        trainer = Trainer(model, optimizer, loss_fn, clip_norm=10.0)
+        history = trainer.fit(batches, steps=80)
+        assert history.steps == 80
+        assert history.smoothed_loss() < 0.5 * np.mean(history.losses[:5])
+
+    def test_history_records_everything(self):
+        model, optimizer, loss_fn, batches = _regression_setup()
+        trainer = Trainer(
+            model, optimizer, loss_fn, schedule=StepDecaySchedule(period=20)
+        )
+        trainer.fit(batches, steps=45)
+        assert len(trainer.history.learning_rates) == 45
+        assert trainer.history.learning_rates[0] == pytest.approx(0.05)
+        assert trainer.history.learning_rates[-1] == pytest.approx(0.0005)
+        assert all(n >= 0 for n in trainer.history.gradient_norms)
+
+    def test_early_stopping(self):
+        model, optimizer, loss_fn, batches = _regression_setup()
+        trainer = Trainer(model, optimizer, loss_fn)
+        history = trainer.fit(batches, steps=2000, patience=15)
+        assert history.steps < 2000
+
+    def test_loss_fn_must_return_tensor(self):
+        model, optimizer, _, batches = _regression_setup()
+        trainer = Trainer(model, optimizer, lambda m, b: 1.0)
+        with pytest.raises(TypeError):
+            trainer.step(batches(0))
+
+    def test_fit_validation(self):
+        model, optimizer, loss_fn, batches = _regression_setup()
+        with pytest.raises(ValueError):
+            Trainer(model, optimizer, loss_fn).fit(batches, steps=0)
+
+    def test_smoothed_loss_requires_steps(self):
+        model, optimizer, loss_fn, _ = _regression_setup()
+        trainer = Trainer(model, optimizer, loss_fn)
+        with pytest.raises(ValueError):
+            trainer.history.smoothed_loss()
+
+
+class TestCheckpointing:
+    def test_state_roundtrip_in_memory(self):
+        model, *_ = _regression_setup()
+        saved = state_dict(model)
+        for parameter in model.parameters():
+            parameter.data += 1.0
+        load_state_dict(model, saved)
+        restored = state_dict(model)
+        for key in saved:
+            assert np.array_equal(saved[key], restored[key])
+
+    def test_checkpoint_file_roundtrip(self, tmp_path):
+        model, optimizer, loss_fn, batches = _regression_setup()
+        Trainer(model, optimizer, loss_fn).fit(batches, steps=10)
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(model, path)
+        reference = model(Tensor(np.ones((2, 4), dtype=np.float32))).data.copy()
+        for parameter in model.parameters():
+            parameter.data *= 0.0
+        load_checkpoint(model, path)
+        restored = model(Tensor(np.ones((2, 4), dtype=np.float32))).data
+        assert np.allclose(reference, restored)
+
+    def test_mismatched_checkpoint_rejected(self):
+        model, *_ = _regression_setup()
+        other = Sequential(Dense(4, 3))
+        with pytest.raises(ValueError, match="tensors"):
+            load_state_dict(other, state_dict(model))
+
+    def test_shape_mismatch_rejected(self):
+        a = Sequential(Dense(4, 3))
+        b = Sequential(Dense(4, 5))
+        with pytest.raises(ValueError, match="shape"):
+            load_state_dict(b, state_dict(a))

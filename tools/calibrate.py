@@ -1,0 +1,98 @@
+"""Calibration dashboard: prints every paper-relevant quantity so the
+simulator's constants can be tuned against the paper's shapes.
+
+Run:  python tools/calibrate.py
+"""
+
+from repro.hardware.devices import TITAN_XP
+from repro.hardware.memory import OutOfMemoryError
+from repro.models.registry import model_catalog
+from repro.training.session import TrainingSession
+
+HEADLINE = [
+    ("resnet-50", "mxnet", 32), ("resnet-50", "tensorflow", 32), ("resnet-50", "cntk", 32),
+    ("inception-v3", "mxnet", 32), ("inception-v3", "tensorflow", 32), ("inception-v3", "cntk", 32),
+    ("nmt", "tensorflow", 128), ("sockeye", "mxnet", 64),
+    ("transformer", "tensorflow", 2048), ("transformer", "tensorflow", 4096),
+    ("wgan", "tensorflow", 64), ("deep-speech-2", "mxnet", 4),
+    ("a3c", "mxnet", 128), ("faster-rcnn", "tensorflow", 1), ("faster-rcnn", "mxnet", 1),
+]
+
+PAPER = {  # (throughput, note) rough paper values for eyeballing
+    ("resnet-50", "mxnet", 32): 89, ("resnet-50", "tensorflow", 32): 71,
+    ("inception-v3", "mxnet", 32): 61, ("inception-v3", "tensorflow", 32): 42,
+    ("nmt", "tensorflow", 128): 365, ("sockeye", "mxnet", 64): 229,
+    ("transformer", "tensorflow", 2048): 3500, ("transformer", "tensorflow", 4096): 4500,
+    ("wgan", "tensorflow", 64): 100, ("deep-speech-2", "mxnet", 4): 3.5,
+    ("a3c", "mxnet", 128): 160, ("faster-rcnn", "tensorflow", 1): 2.3,
+    ("faster-rcnn", "mxnet", 1): 2.3,
+}
+
+
+def headline() -> None:
+    print("== headline table (paper target in parens) ==")
+    for model, fw, b in HEADLINE:
+        try:
+            profile = TrainingSession(model, fw).run_iteration(b)
+        except OutOfMemoryError as exc:
+            print(f"{model:15s} {fw:11s} b={b:5d} OOM: {exc}")
+            continue
+        target = PAPER.get((model, fw, b), "?")
+        fm = profile.memory.feature_map_fraction * 100
+        print(
+            f"{model:15s} {fw:11s} b={b:5d} thr={profile.throughput:9.1f} ({target}) "
+            f"gpu={profile.gpu_utilization * 100:5.1f}% fp32={profile.fp32_utilization * 100:5.1f}% "
+            f"cpu={profile.cpu_utilization * 100:5.2f}% fm%={fm:5.1f} "
+            f"mem={profile.memory.peak_total / 2**30:5.2f}GB"
+        )
+
+
+def sweeps() -> None:
+    print("\n== batch sweeps (throughput / gpu% / fp32%) ==")
+    for key, spec in model_catalog().items():
+        for fw in spec.frameworks:
+            cells = []
+            for b in spec.batch_sizes:
+                try:
+                    p = TrainingSession(key, fw).run_iteration(b)
+                    cells.append(
+                        f"{b}:{p.throughput:.0f}/{p.gpu_utilization * 100:.0f}/{p.fp32_utilization * 100:.0f}"
+                    )
+                except OutOfMemoryError:
+                    cells.append(f"{b}:OOM")
+            print(f"{key:15s} {fw:11s} " + "  ".join(cells))
+
+
+def max_batches() -> None:
+    print("\n== max batch that fits 8GB (sweep + extended) ==")
+    extended = {
+        "nmt": (4, 8, 16, 32, 64, 128, 256), "sockeye": (4, 8, 16, 32, 64, 128, 256),
+        "resnet-50": (4, 8, 16, 32, 64, 128), "inception-v3": (4, 8, 16, 32, 64, 128),
+        "deep-speech-2": (1, 2, 3, 4, 5, 6, 8, 12),
+    }
+    for key, spec in model_catalog().items():
+        for fw in spec.frameworks:
+            session = TrainingSession(key, fw)
+            candidates = extended.get(key, spec.batch_sizes)
+            print(f"{key:15s} {fw:11s} max={session.max_batch_size(candidates)}")
+
+
+def titan() -> None:
+    print("\n== Titan Xp vs P4000 (normalized throughput; paper fig 8) ==")
+    for model, fw, b in [("resnet-50", "mxnet", 32), ("inception-v3", "mxnet", 32),
+                         ("sockeye", "mxnet", 64), ("resnet-50", "tensorflow", 32),
+                         ("inception-v3", "tensorflow", 32), ("nmt", "tensorflow", 128)]:
+        p4 = TrainingSession(model, fw).run_iteration(b)
+        xp = TrainingSession(model, fw, gpu=TITAN_XP).run_iteration(b)
+        print(
+            f"{model:15s} {fw:11s} xp/p4={xp.throughput / p4.throughput:4.2f} "
+            f"gpu {p4.gpu_utilization * 100:.0f}->{xp.gpu_utilization * 100:.0f} "
+            f"fp32 {p4.fp32_utilization * 100:.0f}->{xp.fp32_utilization * 100:.0f}"
+        )
+
+
+if __name__ == "__main__":
+    headline()
+    sweeps()
+    max_batches()
+    titan()
