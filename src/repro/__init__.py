@@ -14,6 +14,9 @@ The package provides:
 - :mod:`repro.distributed` — data-parallel multi-GPU / multi-machine training.
 - :mod:`repro.profiling` — nvprof-like kernel traces, vTune-like CPU sampling,
   and the paper's memory profiler with the five-way breakdown.
+- :mod:`repro.observability` — the telemetry runtime: structured spans,
+  a metrics registry, deterministic exporters, and the run archive behind
+  ``tbd trace`` / ``tbd runs``.
 - :mod:`repro.experiments` — generators for every table and figure.
 - :mod:`repro.tensor` — a real numpy autodiff engine used to run genuine
   (miniature) training end-to-end.

@@ -12,6 +12,10 @@ Subcommands:
 - ``tbd observations`` — verify the 13 observations.
 - ``tbd memory MODEL [-f FW] [-b BATCH]`` — the five-way breakdown.
 - ``tbd distributed [-b BATCH]`` — the Fig. 10 configurations.
+- ``tbd trace MODEL [-f FW] [-b BATCH]`` — run the pipeline under
+  telemetry: span tree to stdout, JSONL events + Chrome trace + metrics
+  archived under the runs directory.
+- ``tbd runs list|show|diff`` — query the archived-run provenance store.
 - ``tbd models`` / ``tbd frameworks`` / ``tbd datasets`` — the catalogs.
 """
 
@@ -182,6 +186,62 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.observability.runner import traced_run
+
+    gpu = get_gpu(args.gpu) if args.gpu else None
+    result = traced_run(
+        args.model,
+        args.framework,
+        batch_size=args.batch,
+        gpu=gpu,
+        archive=not args.no_archive,
+        archive_root=args.dir,
+    )
+    print(result.tracer.render_tree())
+    print()
+    if result.run_dir:
+        print(f"archived run {result.manifest.run_id} -> {result.run_dir}")
+        for kind, name in sorted(result.artifacts.items()):
+            print(f"  {kind:10s} {name}")
+    else:
+        print(f"run {result.manifest.run_id} (not archived)")
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    from repro.observability.archive import RunArchive
+
+    archive = RunArchive(args.dir)
+    if args.runs_command == "list":
+        runs = archive.list()
+        if not runs:
+            print(f"no archived runs under {archive.root}")
+            return 0
+        for run_id in runs:
+            manifest = archive.load(run_id)
+            throughput = manifest.metrics.get("throughput", 0.0)
+            print(
+                f"{run_id:36s} {manifest.device:14s} {throughput:9.1f} samples/s  "
+                f"{manifest.created_at}"
+            )
+        return 0
+    if args.runs_command == "show":
+        manifest = archive.load(args.run_id)
+        print(manifest.to_json(), end="")
+        return 0
+    # diff
+    drifts = archive.diff(args.baseline, args.candidate)
+    print(archive.delta_table(args.baseline, args.candidate))
+    if drifts:
+        print(f"\n{len(drifts)} metric(s) outside tolerance:")
+        for drift in drifts:
+            print(f"  {drift}")
+        return 1
+    print("\nall headline metrics within tolerance")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     for dataset in dataset_catalog().values():
         samples = f"{dataset.num_samples:,}" if dataset.num_samples else "N/A"
@@ -242,6 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="tbd_report.html")
     report.add_argument("--no-observations", action="store_true")
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser("trace", help="instrumented run: span tree + archive")
+    add_config(trace)
+    trace.add_argument(
+        "--dir", default=None, help="runs directory (default ./runs or $TBD_RUNS_DIR)"
+    )
+    trace.add_argument(
+        "--no-archive", action="store_true", help="print the trace without archiving"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    runs = sub.add_parser("runs", help="query the run archive")
+    runs.add_argument(
+        "--dir", default=None, help="runs directory (default ./runs or $TBD_RUNS_DIR)"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="list archived runs")
+    show = runs_sub.add_parser("show", help="print one run's manifest")
+    show.add_argument("run_id")
+    diff = runs_sub.add_parser("diff", help="headline-metric deltas of two runs")
+    diff.add_argument("baseline")
+    diff.add_argument("candidate")
+    runs.set_defaults(func=_cmd_runs)
 
     compare = sub.add_parser("compare", help="A/B framework comparison")
     compare.add_argument("model")

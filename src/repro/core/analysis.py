@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.metrics import IterationMetrics
+from repro.observability.tracer import trace_span
 from repro.profiling.cpu_sampler import CPUSample, CPUSampler
 from repro.profiling.kernel_trace import KernelTrace, trace_from_profile
 from repro.profiling.memory_profiler import MemoryProfile
@@ -77,52 +78,80 @@ class AnalysisPipeline:
         self.run_iterations = run_iterations
 
     def run(self, batch_size: int | None = None) -> AnalysisReport:
-        """Execute every pipeline stage and merge the results."""
+        """Execute every pipeline stage and merge the results.
+
+        Each stage runs under a ``pipeline.stage.*`` telemetry span
+        (setup -> warm-up -> sample -> profile -> merge), so an
+        instrumented run yields the Fig. 3 flow as one coherent span tree
+        with the simulated kernel timeline attached beneath it.
+        """
         spec = self.session.spec
         batch = batch_size if batch_size is not None else spec.reference_batch
-
-        # Stage 1: comparability (Section 3.4.1).
-        reference = defaults_for(spec.key)
-        assert_comparable(spec.key, reference, reference)
-
-        # Stage 2: the profiled stable-phase iteration.
-        profile = self.session.run_iteration(batch)
-        metrics = IterationMetrics.from_profile(
-            profile, throughput_unit=spec.throughput_unit
-        )
-
-        # Stage 3: warm-up/auto-tuning exclusion over the full run timeline.
-        # Faster R-CNN needs thousands of iterations to stabilize
-        # (Section 3.4.2); everything else a few hundred.
-        autotune = 2000 if spec.key == "faster-rcnn" else 200
-        timeline = IterationTimeline(
-            stable_iteration_s=profile.iteration_time_s,
-            autotune_iterations=autotune,
-        )
-        run_length = max(self.run_iterations, autotune + 4 * self.sample_iterations)
-        durations = timeline.durations(run_length)
-        sampler = StablePhaseSampler()
-        window = sampler.choose_window(durations, self.sample_iterations)
-        stable_throughput = sampler.stable_throughput(
-            durations, profile.effective_samples, self.sample_iterations
-        )
-
-        # Stage 4: piecewise profiling tools.
-        trace = trace_from_profile(profile)
-        cpu_sample = CPUSampler(self.session).sample(batch)
-        memory = MemoryProfile(
-            model=spec.display_name,
-            framework=self.session.framework.name,
+        with trace_span(
+            "pipeline.run",
+            model=spec.key,
+            framework=self.session.framework.key,
             batch_size=batch,
-            snapshot=profile.memory,
-        )
+        ):
+            # Stage 1 — setup: make implementations comparable (§3.4.1).
+            with trace_span("pipeline.stage.setup", stage="setup"):
+                reference = defaults_for(spec.key)
+                assert_comparable(spec.key, reference, reference)
 
-        return AnalysisReport(
-            metrics=metrics,
-            kernel_trace=trace,
-            cpu_sample=cpu_sample,
-            memory=memory,
-            stable_start_iteration=window.start_iteration,
-            sampled_iterations=window.length,
-            stable_throughput=stable_throughput,
-        )
+            # Stage 2 — warm-up & auto-tuning (excluded from data
+            # collection): execute the workload to learn the stable
+            # iteration time, then synthesize the warm-up/auto-tune
+            # timeline.  Faster R-CNN needs thousands of iterations to
+            # stabilize (§3.4.2); everything else a few hundred.
+            with trace_span("pipeline.stage.warmup", stage="warm-up") as warmup:
+                profile = self.session.run_iteration(batch)
+                autotune = 2000 if spec.key == "faster-rcnn" else 200
+                timeline = IterationTimeline(
+                    stable_iteration_s=profile.iteration_time_s,
+                    autotune_iterations=autotune,
+                )
+                run_length = max(
+                    self.run_iterations, autotune + 4 * self.sample_iterations
+                )
+                durations = timeline.durations(run_length)
+                warmup.set_attributes(
+                    autotune_iterations=autotune, run_length=run_length
+                )
+
+            # Stage 3 — sample: pick the stable-phase window.
+            with trace_span("pipeline.stage.sample", stage="sample") as sampling:
+                sampler = StablePhaseSampler()
+                window = sampler.choose_window(durations, self.sample_iterations)
+                stable_throughput = sampler.stable_throughput(
+                    durations, profile.effective_samples, self.sample_iterations
+                )
+                sampling.set_attributes(
+                    stable_start=window.start_iteration, window=window.length
+                )
+
+            # Stage 4 — profile: the piecewise tools over the measured
+            # iteration (nvprof-, vTune- and memory-profiler counterparts).
+            with trace_span("pipeline.stage.profile", stage="profile"):
+                trace = trace_from_profile(profile)
+                cpu_sample = CPUSampler(self.session).sample(batch)
+                memory = MemoryProfile(
+                    model=spec.display_name,
+                    framework=self.session.framework.name,
+                    batch_size=batch,
+                    snapshot=profile.memory,
+                )
+
+            # Stage 5 — merge: one report from all views.
+            with trace_span("pipeline.stage.merge", stage="merge"):
+                metrics = IterationMetrics.from_profile(
+                    profile, throughput_unit=spec.throughput_unit
+                )
+                return AnalysisReport(
+                    metrics=metrics,
+                    kernel_trace=trace,
+                    cpu_sample=cpu_sample,
+                    memory=memory,
+                    stable_start_iteration=window.start_iteration,
+                    sampled_iterations=window.length,
+                    stable_throughput=stable_throughput,
+                )

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 from repro.data.base import DatasetSpec
 from repro.frameworks.base import Framework
+from repro.observability.metrics import get_metrics
+from repro.observability.tracer import trace_span
 
 
 @dataclass(frozen=True)
@@ -41,15 +43,29 @@ class DataPipelineModel:
         ``framework``'s pipeline implementation."""
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
-        core_seconds = (
-            batch_size
-            * self.dataset.cpu_decode_cost_s
-            * framework.pipeline_cost_factor
-        )
-        wall = core_seconds / self.worker_threads
-        exposed = wall * (1.0 - framework.data_pipeline_efficiency)
-        return PipelineCost(
-            cpu_core_seconds=core_seconds,
-            wall_seconds=wall,
-            exposed_seconds=exposed,
-        )
+        with trace_span(
+            "data.pipeline",
+            dataset=self.dataset.key,
+            batch_size=batch_size,
+            workers=self.worker_threads,
+        ) as span:
+            core_seconds = (
+                batch_size
+                * self.dataset.cpu_decode_cost_s
+                * framework.pipeline_cost_factor
+            )
+            wall = core_seconds / self.worker_threads
+            exposed = wall * (1.0 - framework.data_pipeline_efficiency)
+            span.set_attributes(
+                cpu_core_seconds=core_seconds, exposed_seconds=exposed
+            )
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("pipeline_samples_decoded_total").inc(batch_size)
+                metrics.counter("pipeline_cpu_core_seconds_total").inc(core_seconds)
+                metrics.counter("pipeline_exposed_seconds_total").inc(exposed)
+            return PipelineCost(
+                cpu_core_seconds=core_seconds,
+                wall_seconds=wall,
+                exposed_seconds=exposed,
+            )

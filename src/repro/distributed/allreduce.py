@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.interconnect import Interconnect
+from repro.observability.metrics import get_metrics
+from repro.observability.tracer import trace_span
 
 
 @dataclass(frozen=True)
@@ -62,11 +64,41 @@ class RingAllReduceExchange:
 
     def cost(self, gradient_bytes: float, cluster: ClusterSpec) -> AllReduceCost:
         """Cost of one all-reduce of ``gradient_bytes`` over the cluster."""
-        workers = cluster.total_gpus
-        if workers <= 1:
-            return AllReduceCost(total_s=0.0, steps=0)
-        link = (
-            cluster.inter_link if cluster.is_distributed else cluster.machine.intra_link
-        )
-        total = ring_allreduce_time(gradient_bytes, workers, link)
-        return AllReduceCost(total_s=total, steps=2 * (workers - 1))
+        with trace_span(
+            "allreduce.ring",
+            gradient_bytes=gradient_bytes,
+            workers=cluster.total_gpus,
+            cluster=cluster.name,
+        ) as span:
+            workers = cluster.total_gpus
+            if workers <= 1:
+                return AllReduceCost(total_s=0.0, steps=0)
+            link = (
+                cluster.inter_link
+                if cluster.is_distributed
+                else cluster.machine.intra_link
+            )
+            total = ring_allreduce_time(gradient_bytes, workers, link)
+            steps = 2 * (workers - 1)
+            self._record_telemetry(span, gradient_bytes, workers, steps, total)
+            return AllReduceCost(total_s=total, steps=steps)
+
+    def _record_telemetry(
+        self, span, gradient_bytes: float, workers: int, steps: int, total_s: float
+    ) -> None:
+        """Emit per-round child spans and the on-the-wire byte counters."""
+        wire_bytes = 2.0 * gradient_bytes * (workers - 1) / workers
+        if span.enabled:
+            span.set_attributes(steps=steps, total_s=total_s, wire_bytes=wire_bytes)
+            per_round = total_s / steps if steps else 0.0
+            for index in range(steps):
+                phase = "reduce-scatter" if index < steps // 2 else "all-gather"
+                with trace_span(
+                    "allreduce.round", index=index, phase=phase, round_s=per_round
+                ):
+                    pass
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("allreduce_rounds_total").inc(steps)
+            metrics.counter("allreduce_wire_bytes_total").inc(wire_bytes)
+            metrics.counter("allreduce_seconds_total").inc(total_s)

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 from repro.distributed.parameter_server import ParameterServerExchange
 from repro.hardware.cluster import ClusterSpec
+from repro.observability.metrics import get_metrics
+from repro.observability.tracer import trace_span
 from repro.training.session import TrainingSession
 
 #: Fraction of exchange time hidden behind the backward pass (layer-wise
@@ -79,14 +81,36 @@ class DataParallelTrainer:
             OutOfMemoryError: if a single replica does not fit its GPU.
         """
         workers = max(1, self.cluster.total_gpus)
-        local = self.session.run_iteration(per_gpu_batch)
-        graph = self.session.spec.build(per_gpu_batch)
-        gradient_bytes = graph.total_weight_bytes
+        span = trace_span(
+            "distributed.iteration",
+            model=self.session.spec.key,
+            configuration=self.cluster.name,
+            exchange=self.exchange.name,
+            workers=workers,
+            per_gpu_batch=per_gpu_batch,
+        )
+        with span:
+            local = self.session.run_iteration(per_gpu_batch)
+            graph = self.session.spec.build(per_gpu_batch)
+            gradient_bytes = graph.total_weight_bytes
 
-        cost = self.exchange.cost(gradient_bytes, self.cluster)
-        exchange_time = cost.total_s if workers > 1 else 0.0
-        exposed = exchange_time * (1.0 - COMM_OVERLAP)
-        iteration = local.iteration_time_s + exposed
+            cost = self.exchange.cost(gradient_bytes, self.cluster)
+            exchange_time = cost.total_s if workers > 1 else 0.0
+            exposed = exchange_time * (1.0 - COMM_OVERLAP)
+            iteration = local.iteration_time_s + exposed
+            span.set_attributes(
+                gradient_bytes=gradient_bytes,
+                exchange_s=exchange_time,
+                exposed_exchange_s=exposed,
+                iteration_time_s=iteration,
+            )
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("distributed_iterations_total").inc()
+                metrics.counter("exchange_exposed_seconds_total").inc(exposed)
+                metrics.gauge(
+                    "distributed_workers", {"configuration": self.cluster.name}
+                ).set(workers)
         return DistributedProfile(
             model=self.session.spec.display_name,
             framework=self.session.framework.name,

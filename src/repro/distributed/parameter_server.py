@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.cluster import ClusterSpec
+from repro.observability.metrics import get_metrics
+from repro.observability.tracer import trace_span
 
 #: Effective efficiency of kvstore-style TCP transfers under incast.
 _TCP_PS_EFFICIENCY = 0.5
@@ -49,35 +51,74 @@ class ParameterServerExchange:
         """Cost of one push+pull cycle for ``gradient_bytes`` per worker."""
         if gradient_bytes < 0:
             raise ValueError("gradient bytes cannot be negative")
-        machine = cluster.machine
-        gpus = machine.gpu_count
+        with trace_span(
+            "ps.exchange",
+            gradient_bytes=gradient_bytes,
+            workers=cluster.total_gpus,
+            cluster=cluster.name,
+        ) as span:
+            machine = cluster.machine
+            gpus = machine.gpu_count
 
-        intra = 0.0
-        aggregation = 0.0
-        if gpus >= 1:
-            # Push + pull per GPU over its own PCIe link (parallel slots).
-            intra = 2.0 * machine.intra_link.transfer_time(gradient_bytes)
-            # The host reduces `gpus` gradient copies at memory bandwidth.
-            host_bw = (
-                machine.cpu.memory_bandwidth_gbs * 1e9 * _AGGREGATION_BW_FRACTION
-            )
-            aggregation = gpus * gradient_bytes / host_bw
+            intra = 0.0
+            aggregation = 0.0
+            if gpus >= 1:
+                # Push + pull per GPU over its own PCIe link (parallel slots).
+                intra = 2.0 * machine.intra_link.transfer_time(gradient_bytes)
+                # The host reduces `gpus` gradient copies at memory bandwidth.
+                host_bw = (
+                    machine.cpu.memory_bandwidth_gbs * 1e9 * _AGGREGATION_BW_FRACTION
+                )
+                aggregation = gpus * gradient_bytes / host_bw
 
-        inter = 0.0
-        if cluster.is_distributed:
-            machines = cluster.machine_count
-            link = cluster.inter_link
-            share = gradient_bytes * (machines - 1) / machines
-            efficiency = 1.0
-            if "ethernet" in link.name.lower() or "gbe" in link.name.lower():
-                efficiency = _TCP_PS_EFFICIENCY
-            # Push phase + pull phase, full duplex within each phase.
-            per_phase = link.latency_s + share / (
-                link.effective_bandwidth_bytes * efficiency
+            inter = 0.0
+            if cluster.is_distributed:
+                machines = cluster.machine_count
+                link = cluster.inter_link
+                share = gradient_bytes * (machines - 1) / machines
+                efficiency = 1.0
+                if "ethernet" in link.name.lower() or "gbe" in link.name.lower():
+                    efficiency = _TCP_PS_EFFICIENCY
+                # Push phase + pull phase, full duplex within each phase.
+                per_phase = link.latency_s + share / (
+                    link.effective_bandwidth_bytes * efficiency
+                )
+                inter = 2.0 * per_phase
+            self._record_telemetry(span, gradient_bytes, gpus, intra, inter, aggregation)
+            return ExchangeCost(
+                intra_machine_s=intra,
+                inter_machine_s=inter,
+                aggregation_s=aggregation,
             )
-            inter = 2.0 * per_phase
-        return ExchangeCost(
-            intra_machine_s=intra,
-            inter_machine_s=inter,
-            aggregation_s=aggregation,
-        )
+
+    def _record_telemetry(
+        self,
+        span,
+        gradient_bytes: float,
+        gpus: int,
+        intra_s: float,
+        inter_s: float,
+        aggregation_s: float,
+    ) -> None:
+        """Emit push/aggregate/pull child spans and the PS traffic counters."""
+        if span.enabled:
+            half_intra = intra_s / 2.0
+            half_inter = inter_s / 2.0
+            with trace_span(
+                "ps.push", bytes=gradient_bytes, duration_s=half_intra + half_inter
+            ):
+                pass
+            with trace_span("ps.aggregate", copies=gpus, duration_s=aggregation_s):
+                pass
+            with trace_span(
+                "ps.pull", bytes=gradient_bytes, duration_s=half_intra + half_inter
+            ):
+                pass
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("ps_pushes_total").inc(gpus)
+            metrics.counter("ps_pulls_total").inc(gpus)
+            metrics.counter("ps_wire_bytes_total").inc(2.0 * gradient_bytes * gpus)
+            metrics.counter("ps_exchange_seconds_total").inc(
+                intra_s + inter_s + aggregation_s
+            )

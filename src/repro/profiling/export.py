@@ -19,6 +19,12 @@ from repro.profiling.timeline import Timeline
 _US = 1e6  # trace events are in microseconds
 
 
+def _round_us(seconds: float) -> float:
+    """Seconds -> microseconds with fixed nanosecond precision, so exported
+    traces are byte-stable and diff cleanly across runs."""
+    return round(seconds * _US, 3)
+
+
 def timeline_to_chrome_trace(timeline: Timeline, process_name: str = "GPU") -> dict:
     """Convert a :class:`Timeline` to a chrome://tracing object."""
     events = [
@@ -37,8 +43,8 @@ def timeline_to_chrome_trace(timeline: Timeline, process_name: str = "GPU") -> d
                 "ph": "X",
                 "pid": 0,
                 "tid": 0,
-                "ts": event.start_s * _US,
-                "dur": event.duration_s * _US,
+                "ts": _round_us(event.start_s),
+                "dur": _round_us(event.duration_s),
                 "args": {"host_sync": event.host_sync},
             }
         )
@@ -50,8 +56,8 @@ def timeline_to_chrome_trace(timeline: Timeline, process_name: str = "GPU") -> d
                 "ph": "X",
                 "pid": 0,
                 "tid": 1,
-                "ts": gap.start_s * _US,
-                "dur": gap.duration_s * _US,
+                "ts": _round_us(gap.start_s),
+                "dur": _round_us(gap.duration_s),
                 "args": {"index": index},
             }
         )
@@ -59,10 +65,11 @@ def timeline_to_chrome_trace(timeline: Timeline, process_name: str = "GPU") -> d
 
 
 def write_chrome_trace(timeline: Timeline, path: str, process_name: str = "GPU") -> None:
-    """Serialize a timeline to a chrome-trace JSON file."""
+    """Serialize a timeline to deterministic chrome-trace JSON (sorted keys,
+    fixed float precision)."""
     trace = timeline_to_chrome_trace(timeline, process_name)
     with open(path, "w") as handle:
-        json.dump(trace, handle)
+        json.dump(trace, handle, sort_keys=True, separators=(",", ":"))
 
 
 def kernel_stats_to_csv(trace, path_or_buffer=None) -> str:

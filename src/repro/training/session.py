@@ -38,6 +38,8 @@ from repro.hardware.memory import AllocationTag, GPUMemoryAllocator
 from repro.hardware.roofline import RooflineModel
 import repro.kernels.misc as misc
 from repro.models.registry import ModelSpec, get_model
+from repro.observability.metrics import get_metrics
+from repro.observability.tracer import trace_span
 
 #: Live activation-gradient working set, as a fraction of the stashed
 #: forward feature maps (gradient maps are produced and consumed during the
@@ -171,12 +173,17 @@ class TrainingSession:
         Raises:
             OutOfMemoryError: if the footprint exceeds GPU capacity.
         """
-        graph = self.spec.build(batch_size)
-        allocator = GPUMemoryAllocator(
-            self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
-        )
-        self._allocate(graph, allocator)
-        return allocator.snapshot()
+        with trace_span(
+            "session.profile_memory", model=self.spec.key, batch_size=batch_size
+        ):
+            graph = self.spec.build(batch_size)
+            allocator = GPUMemoryAllocator(
+                self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
+            )
+            self._allocate(graph, allocator)
+            snapshot = allocator.snapshot()
+        self._record_memory_telemetry(snapshot)
+        return snapshot
 
     def _allocate(self, graph: LayerGraph, allocator: GPUMemoryAllocator) -> None:
         """Replay one training setup + iteration's allocations."""
@@ -215,6 +222,44 @@ class TrainingSession:
             allocator.allocate(momentum_bytes, AllocationTag.WEIGHTS, "momentum")
 
     # ------------------------------------------------------------------
+    # telemetry (no-op unless repro.observability is enabled)
+    # ------------------------------------------------------------------
+
+    def _record_memory_telemetry(self, snapshot) -> None:
+        """Publish the allocator's per-tag peaks as gauges."""
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        for tag in sorted(snapshot.peak_by_tag, key=lambda tag: tag.value):
+            metrics.gauge("memory_peak_bytes", {"tag": tag.value}).set(
+                snapshot.peak_by_tag[tag]
+            )
+        metrics.gauge("memory_peak_total_bytes").set(snapshot.peak_total)
+
+    def _record_kernel_telemetry(self, span, timings) -> None:
+        """Attach the kernel timeline to the open span and update the
+        kernel-stream metrics.  Only called when telemetry is enabled, so
+        the extra timeline replay never taxes the plain simulation path."""
+        from repro.profiling.timeline import build_timeline
+
+        timeline = build_timeline(timings, self.framework)
+        if span.enabled:
+            span.attach_timeline(timeline)
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.counter("kernels_issued_total").inc(len(timeline.events))
+        metrics.counter("gpu_busy_seconds_total").inc(timeline.busy_s)
+        queue_delay = metrics.histogram("kernel_queue_delay_seconds")
+        for event in timeline.events:
+            queue_delay.observe(event.queue_delay_s)
+        for cause, seconds in sorted(timeline.idle_by_cause().items()):
+            metrics.counter("gpu_idle_seconds_total", {"cause": cause}).inc(seconds)
+        stalls = sum(1 for gap in timeline.gaps if gap.cause == "dispatch")
+        if stalls:
+            metrics.counter("dispatch_stalls_total").inc(stalls)
+
+    # ------------------------------------------------------------------
     # the headline entry point
     # ------------------------------------------------------------------
 
@@ -225,17 +270,25 @@ class TrainingSession:
             OutOfMemoryError: if ``check_memory`` and the model does not fit.
         """
         batch = batch_size if batch_size is not None else self.spec.reference_batch
-        graph = self.spec.build(batch)
-        memory = None
-        if self.check_memory:
-            allocator = GPUMemoryAllocator(
-                self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
+        with trace_span(
+            "session.run_iteration",
+            model=self.spec.key,
+            framework=self.framework.key,
+            device=self.gpu.name,
+            batch_size=batch,
+        ):
+            graph = self.spec.build(batch)
+            memory = None
+            if self.check_memory:
+                allocator = GPUMemoryAllocator(
+                    self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
+                )
+                self._allocate(graph, allocator)
+                memory = allocator.snapshot()
+                self._record_memory_telemetry(memory)
+            return self.simulate_graph(
+                graph, memory=memory, display_name=self.spec.display_name
             )
-            self._allocate(graph, allocator)
-            memory = allocator.snapshot()
-        return self.simulate_graph(
-            graph, memory=memory, display_name=self.spec.display_name
-        )
 
     def simulate_graph(
         self,
@@ -249,25 +302,38 @@ class TrainingSession:
         rewrites.  Host-side costs are accounted as for the session's model.
         """
         batch = graph.batch_size
-        kernels = self._iteration_kernels(graph)
-        timings = self._roofline.time_kernels(kernels)
-        makespan, busy, dispatch_cpu = self._execute_timeline(timings)
-
-        pipeline = self._pipeline.cost(
-            max(1, int(batch * self.spec.pipeline_cost_scale)), self.framework
+        span = trace_span(
+            "session.simulate_graph", model=graph.model_name, batch_size=batch
         )
-        host_core_seconds = self.spec.host_cpu_cost(self.framework.key)
-        host_exposed = host_core_seconds * (1.0 - self.spec.host_cpu_overlap)
-        env_core_seconds = self.spec.env_cpu_core_seconds_per_sample * batch
-        env_wall = env_core_seconds / self.spec.env_cpu_threads
+        with span:
+            kernels = self._iteration_kernels(graph)
+            timings = self._roofline.time_kernels(kernels)
+            makespan, busy, dispatch_cpu = self._execute_timeline(timings)
+            if span.enabled or get_metrics().enabled:
+                self._record_kernel_telemetry(span, timings)
 
-        iteration_time = makespan + pipeline.exposed_seconds + host_exposed + env_wall
-        cpu_core_seconds = (
-            dispatch_cpu
-            + pipeline.cpu_core_seconds
-            + host_core_seconds
-            + env_core_seconds
-        )
+            pipeline = self._pipeline.cost(
+                max(1, int(batch * self.spec.pipeline_cost_scale)), self.framework
+            )
+            host_core_seconds = self.spec.host_cpu_cost(self.framework.key)
+            host_exposed = host_core_seconds * (1.0 - self.spec.host_cpu_overlap)
+            env_core_seconds = self.spec.env_cpu_core_seconds_per_sample * batch
+            env_wall = env_core_seconds / self.spec.env_cpu_threads
+
+            iteration_time = (
+                makespan + pipeline.exposed_seconds + host_exposed + env_wall
+            )
+            cpu_core_seconds = (
+                dispatch_cpu
+                + pipeline.cpu_core_seconds
+                + host_core_seconds
+                + env_core_seconds
+            )
+            span.set_attributes(
+                kernels_issued=len(timings),
+                gpu_busy_s=busy,
+                iteration_time_s=iteration_time,
+            )
         return IterationProfile(
             model=display_name if display_name is not None else graph.model_name,
             framework=self.framework.name,

@@ -90,3 +90,88 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTraceAndRuns:
+    def test_trace_archives_and_prints_tree(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "trace", "resnet-50", "-f", "mxnet", "-b", "16",
+            "--dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "pipeline.stage.profile" in out
+        assert "kernel events" in out  # attached simulated timelines
+        assert "archived run resnet-50-mxnet-b16-001" in out
+        run_dir = tmp_path / "resnet-50-mxnet-b16-001"
+        for artifact in ("manifest.json", "spans.jsonl", "trace.json", "metrics.prom"):
+            assert (run_dir / artifact).exists(), artifact
+
+    def test_trace_no_archive(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "trace", "wgan", "-f", "tensorflow", "-b", "8",
+            "--dir", str(tmp_path), "--no-archive",
+        )
+        assert code == 0
+        assert "(not archived)" in out
+        assert not (tmp_path / "wgan-tensorflow-b8-001").exists()
+
+    def test_runs_list_empty(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "runs", "--dir", str(tmp_path), "list")
+        assert code == 0
+        assert "no archived runs" in out
+
+    def test_runs_list_show_diff(self, capsys, tmp_path):
+        for _ in range(2):
+            run_cli(
+                capsys,
+                "trace", "resnet-50", "-f", "mxnet", "-b", "16",
+                "--dir", str(tmp_path),
+            )
+        code, out = run_cli(capsys, "runs", "--dir", str(tmp_path), "list")
+        assert code == 0
+        assert "resnet-50-mxnet-b16-001" in out
+        assert "resnet-50-mxnet-b16-002" in out
+        assert "samples/s" in out
+
+        code, out = run_cli(
+            capsys, "runs", "--dir", str(tmp_path), "show", "resnet-50-mxnet-b16-001"
+        )
+        assert code == 0
+        assert '"run_id": "resnet-50-mxnet-b16-001"' in out
+        assert '"throughput"' in out
+
+        code, out = run_cli(
+            capsys,
+            "runs", "--dir", str(tmp_path), "diff",
+            "resnet-50-mxnet-b16-001", "resnet-50-mxnet-b16-002",
+        )
+        assert code == 0  # identical simulated runs never drift
+        assert "all headline metrics within tolerance" in out
+        assert "throughput" in out
+
+    def test_runs_diff_flags_drift(self, capsys, tmp_path):
+        from repro.observability.archive import RunArchive, RunManifest
+
+        archive = RunArchive(str(tmp_path))
+        for run_id, throughput in (("x-001", 100.0), ("x-002", 80.0)):
+            archive.record(
+                RunManifest(
+                    run_id=run_id,
+                    model="resnet-50",
+                    framework="mxnet",
+                    device="Quadro P4000",
+                    batch_size=16,
+                    seed=0,
+                    git="test",
+                    created_at="2026-08-06T00:00:00+00:00",
+                    metrics={"throughput": throughput},
+                )
+            )
+        code, out = run_cli(
+            capsys, "runs", "--dir", str(tmp_path), "diff", "x-001", "x-002"
+        )
+        assert code == 1
+        assert "outside tolerance" in out
+        assert "-20.0" in out

@@ -56,6 +56,15 @@ def test_full_evaluation_rejects_unknown(capsys):
         _run_example("full_evaluation.py", capsys, argv=["fig99"])
 
 
+def test_trace_run_archives_and_diffs(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    output = _run_example("trace_run.py", capsys)
+    assert "spans.jsonl byte-identical across runs: True" in output
+    assert "all headline metrics within tolerance" in output
+    runs_dir = tmp_path / "artifacts" / "runs"
+    assert (runs_dir / "resnet-50-mxnet-b16-002" / "trace.json").exists()
+
+
 def test_export_traces_writes_artifacts(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     output = _run_example("export_traces.py", capsys)

@@ -1,0 +1,79 @@
+"""The instrumentation lint must pass on the real tree and actually catch
+de-instrumented entry points."""
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO, "tools"))
+
+from check_instrumentation import (  # noqa: E402
+    REQUIRED,
+    check_instrumentation,
+)
+
+
+def test_every_entry_point_is_instrumented():
+    assert check_instrumentation() == []
+
+
+def test_lint_covers_all_instrumented_layers():
+    modules = {relative for relative, _cls, _fn in REQUIRED}
+    assert "repro/training/session.py" in modules
+    assert "repro/core/analysis.py" in modules
+    assert "repro/distributed/allreduce.py" in modules
+    assert "repro/distributed/parameter_server.py" in modules
+    assert "repro/data/pipeline.py" in modules
+
+
+def test_lint_fails_when_instrumentation_removed(tmp_path, monkeypatch):
+    """Recreate one required entry point without its trace_span call and
+    point the lint at the doctored tree."""
+    doctored = tmp_path / "repro" / "training"
+    doctored.mkdir(parents=True)
+    (doctored / "session.py").write_text(
+        textwrap.dedent(
+            """
+            class TrainingSession:
+                def run_iteration(self, batch_size=None):
+                    return None
+
+                def simulate_graph(self, graph):
+                    return None
+
+                def profile_memory(self, batch_size):
+                    return None
+            """
+        )
+    )
+    problems = check_instrumentation(str(tmp_path))
+    assert any(
+        "session.py::TrainingSession.run_iteration" in problem
+        and "no trace_span" in problem
+        for problem in problems
+    )
+    # Missing modules are reported too, not silently skipped.
+    assert any("cannot parse module" in problem for problem in problems)
+
+
+def test_lint_reports_missing_entry_point(tmp_path):
+    doctored = tmp_path / "repro" / "training"
+    doctored.mkdir(parents=True)
+    (doctored / "session.py").write_text("class TrainingSession:\n    pass\n")
+    problems = check_instrumentation(str(tmp_path))
+    assert any("entry point not found" in problem for problem in problems)
+
+
+def test_cli_exit_codes():
+    result = subprocess.run(
+        [sys.executable, os.path.join(_REPO, "tools", "check_instrumentation.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "instrumentation lint OK" in result.stdout
