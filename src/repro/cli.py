@@ -4,7 +4,10 @@ Subcommands:
 
 - ``tbd run MODEL [-f FW] [-b BATCH] [-g GPU]`` — one configuration, all
   headline metrics.
-- ``tbd sweep MODEL [-f FW]`` — the model's mini-batch sweep.
+- ``tbd sweep MODEL [-f FW] [--jobs N] [--cache-dir DIR] [--no-cache]``
+  — the model's mini-batch sweep, fanned out across worker processes and
+  memoized in the content-addressed result cache.
+- ``tbd cache stats|clear`` — inspect or empty the sweep result cache.
 - ``tbd analyze MODEL [-f FW] [-b BATCH]`` — the full Fig. 3 pipeline
   report, plus the optimization advisor's recommendations.
 - ``tbd exhibit NAME [...]`` — regenerate tables/figures (``all`` = paper
@@ -29,6 +32,7 @@ from repro.core.observations import verify_all
 from repro.core.recommendations import advise
 from repro.core.suite import standard_suite, TBDSuite
 from repro.data.registry import dataset_catalog
+from repro.engine.cli import add_engine_arguments, register_cache_command
 from repro.frameworks.registry import framework_catalog
 from repro.hardware.devices import get_gpu
 from repro.models.registry import extension_catalog, model_catalog
@@ -47,12 +51,16 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.engine.cli import engine_from_args, format_engine_summary
+
     suite = _suite(args)
-    for point in suite.sweep(args.model, args.framework):
+    engine = engine_from_args(args, gpu=suite.gpu)
+    for point in suite.sweep(args.model, args.framework, engine=engine):
         if point.oom:
             print(f"b={point.batch_size:<6d} OOM")
         else:
             print(point.metrics.format_row())
+    print(format_engine_summary(engine))
     return 0
 
 
@@ -266,11 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_config(run)
     run.set_defaults(func=_cmd_run)
 
-    sweep = sub.add_parser("sweep", help="mini-batch sweep")
+    sweep = sub.add_parser("sweep", help="mini-batch sweep (parallel + cached)")
     sweep.add_argument("model")
     sweep.add_argument("-f", "--framework", default="tensorflow")
     sweep.add_argument("-g", "--gpu", default=None)
+    add_engine_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    register_cache_command(sub)
 
     analyze = sub.add_parser("analyze", help="full analysis pipeline + advice")
     add_config(analyze)

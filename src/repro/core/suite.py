@@ -21,12 +21,28 @@ from repro.training.session import TrainingSession
 
 @dataclass
 class SweepPoint:
-    """One (batch size, metrics) point of a mini-batch sweep; ``oom`` marks
-    configurations that exceeded GPU memory."""
+    """One (batch size, metrics) point of a mini-batch sweep.
+
+    Exactly one of the two outcomes holds: either the configuration ran
+    and ``metrics`` is populated, or it exceeded GPU memory and ``oom`` is
+    set with ``metrics`` left ``None``.  Mixed states are construction
+    errors, so an OOM point can never masquerade as a measured one.
+    """
 
     batch_size: int
-    metrics: IterationMetrics = None
+    metrics: IterationMetrics | None = None
     oom: bool = False
+
+    def __post_init__(self) -> None:
+        if self.oom and self.metrics is not None:
+            raise ValueError(
+                f"OOM sweep point (batch {self.batch_size}) cannot carry metrics"
+            )
+        if not self.oom and self.metrics is None:
+            raise ValueError(
+                f"sweep point (batch {self.batch_size}) ran but has no metrics; "
+                "mark it oom=True if it exceeded GPU memory"
+            )
 
 
 class TBDSuite:
@@ -66,15 +82,31 @@ class TBDSuite:
         """Create a training session on this suite's GPU."""
         return TrainingSession(model, framework, gpu=self.gpu)
 
+    def engine(self, jobs: int = 1, cache=None, check_memory: bool = True):
+        """A :class:`~repro.engine.executor.SweepEngine` bound to this
+        suite's GPU — the parallel/memoized execution path for
+        :meth:`run`, :meth:`sweep`, and the figure experiments."""
+        from repro.engine.executor import SweepEngine
+
+        return SweepEngine(
+            jobs=jobs, cache=cache, gpu=self.gpu, check_memory=check_memory
+        )
+
     def run(
-        self, model: str, framework: str, batch_size: int | None = None
+        self, model: str, framework: str, batch_size: int | None = None, engine=None
     ) -> IterationMetrics:
         """Run one configuration and return its headline metrics.
+
+        ``engine`` (a :meth:`engine` product) routes execution through the
+        sweep engine: results are served from its content-addressed cache
+        when possible and memoized when not.
 
         Raises:
             OutOfMemoryError: if the configuration exceeds GPU memory.
             ValueError: if the paper has no such implementation.
         """
+        if engine is not None:
+            return engine.run(model, framework, batch_size)
         session = self.session(model, framework)
         profile = session.run_iteration(batch_size)
         return IterationMetrics.from_profile(
@@ -82,10 +114,13 @@ class TBDSuite:
         )
 
     def sweep(
-        self, model: str, framework: str, batch_sizes=None
+        self, model: str, framework: str, batch_sizes=None, engine=None
     ) -> list:
         """Run the model's mini-batch sweep (Figs. 4-6 x-axes); OOM points
-        are recorded, not raised."""
+        are recorded, not raised.  ``engine`` fans the sweep out across
+        worker processes and memoizes each point (see :meth:`engine`)."""
+        if engine is not None:
+            return engine.sweep(model, framework, batch_sizes)
         session = self.session(model, framework)
         sizes = batch_sizes if batch_sizes is not None else session.spec.batch_sizes
         points = []

@@ -1,0 +1,55 @@
+"""``repro.engine`` — parallel sweep execution with content-addressed
+result memoization.
+
+The engine is the fast path for everything grid-shaped in the repo: the
+Figs. 4-6 batch-size sweeps, cross-framework comparisons, and any custom
+grid built from :func:`grid_for` / :class:`PointSpec`.  Its two
+guarantees, pinned by the differential test harness:
+
+- **parallel == serial**: fan-out across a process pool never changes a
+  result, a field, or an exported byte;
+- **cached == cold**: a memoized point is indistinguishable from a fresh
+  computation, and any relevant input change (device numbers, framework
+  personality, hyper-parameters, timing-model source) moves the cache
+  key so stale entries can never be served.
+"""
+
+from repro.engine.cache import (
+    CacheCorruptionWarning,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.engine.executor import (
+    EngineStats,
+    EngineWorkerWarning,
+    PointSpec,
+    SweepEngine,
+    grid_for,
+)
+from repro.engine.keys import code_fingerprint, key_document, point_key
+from repro.engine.merge import (
+    grid_record,
+    payload_to_point,
+    point_to_payload,
+    write_grid_jsonl,
+)
+
+__all__ = [
+    "CacheCorruptionWarning",
+    "CacheStats",
+    "EngineStats",
+    "EngineWorkerWarning",
+    "PointSpec",
+    "ResultCache",
+    "SweepEngine",
+    "code_fingerprint",
+    "default_cache_dir",
+    "grid_for",
+    "grid_record",
+    "key_document",
+    "payload_to_point",
+    "point_key",
+    "point_to_payload",
+    "write_grid_jsonl",
+]

@@ -1,0 +1,376 @@
+"""The parallel sweep-execution engine.
+
+One :class:`SweepEngine` turns a list of grid points (model, framework,
+batch size) into :class:`~repro.core.suite.SweepPoint` results:
+
+1. **Cache probe.**  Each point's content address
+   (:func:`repro.engine.keys.point_key`) is looked up in the
+   :class:`~repro.engine.cache.ResultCache`; hits skip execution
+   entirely.
+2. **Deterministic fan-out.**  Missing points are partitioned round-robin
+   across ``jobs`` chunks and executed on a process pool.  Partitioning
+   depends only on (grid order, jobs) — never on completion timing — and
+   results are merged back in grid order, so a parallel run is
+   byte-identical to a serial one (the simulated timebase does the rest).
+3. **Degrade, never corrupt.**  A worker chunk that fails — or a pool
+   that cannot start at all — is recomputed inline in the parent with a
+   warning; a damaged cache entry is discarded and recomputed.  Every
+   failure mode converges on the serial result.
+
+All three result sources (cache, worker, inline) share one wire format
+(:mod:`repro.engine.merge`), which is what the differential test harness
+pins down.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import warnings
+from dataclasses import dataclass
+
+from repro.core.metrics import IterationMetrics
+from repro.core.suite import SweepPoint
+from repro.engine.cache import ResultCache
+from repro.engine.keys import point_key
+from repro.engine.merge import (
+    merge_ordered,
+    payload_to_point,
+    point_to_payload,
+)
+from repro.hardware.devices import CPUSpec, GPUSpec, QUADRO_P4000, XEON_E5_2680
+from repro.hardware.memory import OutOfMemoryError
+from repro.models.registry import get_model
+from repro.observability.metrics import get_metrics
+from repro.observability.tracer import trace_span
+from repro.training.session import TrainingSession
+
+
+class EngineWorkerWarning(UserWarning):
+    """A worker chunk failed and its points were recomputed inline."""
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Grid coordinates of one sweep point."""
+
+    model: str
+    framework: str
+    batch_size: int
+
+
+@dataclass
+class EngineStats:
+    """Cumulative accounting over an engine's lifetime."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    points_computed: int = 0
+    worker_failures: int = 0
+    corrupt_entries: int = 0
+
+
+def grid_for(panels, batch_sizes=None) -> list:
+    """Expand ``(model, (framework, ...))`` panels into grid order.
+
+    ``batch_sizes`` overrides every model's sweep; by default each model
+    contributes its paper sweep (``ModelSpec.batch_sizes``).
+    """
+    specs = []
+    for model, frameworks in panels:
+        sizes = (
+            batch_sizes if batch_sizes is not None else get_model(model).batch_sizes
+        )
+        for framework in frameworks:
+            for batch in sizes:
+                specs.append(PointSpec(model, framework, int(batch)))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# point execution (runs in the parent *and* in pool workers)
+# ----------------------------------------------------------------------
+
+
+def _compute_payload(
+    spec: PointSpec,
+    gpu: GPUSpec,
+    cpu: CPUSpec,
+    check_memory: bool,
+    sessions: dict | None = None,
+) -> dict:
+    """Simulate one grid point and return its wire-format payload.
+
+    ``sessions`` lets a chunk reuse one :class:`TrainingSession` per
+    (model, framework) across its batch sizes.
+    """
+    key = (spec.model, spec.framework)
+    session = sessions.get(key) if sessions is not None else None
+    if session is None:
+        session = TrainingSession(
+            spec.model, spec.framework, gpu=gpu, cpu=cpu, check_memory=check_memory
+        )
+        if sessions is not None:
+            sessions[key] = session
+    try:
+        profile = session.run_iteration(spec.batch_size)
+    except OutOfMemoryError:
+        return point_to_payload(SweepPoint(batch_size=spec.batch_size, oom=True))
+    return point_to_payload(
+        SweepPoint(
+            batch_size=spec.batch_size,
+            metrics=IterationMetrics.from_profile(
+                profile, throughput_unit=session.spec.throughput_unit
+            ),
+        )
+    )
+
+
+def _pool_worker(chunk, gpu: GPUSpec, cpu: CPUSpec, check_memory: bool) -> list:
+    """Execute one ``[(grid_index, PointSpec), ...]`` chunk in a worker
+    process; returns ``[(grid_index, payload), ...]``."""
+    sessions: dict = {}
+    return [
+        (index, _compute_payload(spec, gpu, cpu, check_memory, sessions))
+        for index, spec in chunk
+    ]
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+class SweepEngine:
+    """Executes experiment grids in parallel with content-addressed
+    memoization.
+
+    Args:
+        jobs: worker processes; ``1`` executes inline (no pool).
+        cache: a :class:`ResultCache`, a cache-directory path, or ``None``
+            to disable memoization.
+        gpu / cpu: the device pair every point runs on.
+        check_memory: forwarded to :class:`TrainingSession`; when off,
+            nothing can OOM (and the cache key is unaffected — memory
+            checking changes *whether* a result exists, not its value,
+            so cached metrics stay valid either way).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache=None,
+        gpu: GPUSpec = QUADRO_P4000,
+        cpu: CPUSpec = XEON_E5_2680,
+        check_memory: bool = True,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = ResultCache(cache) if isinstance(cache, str) else cache
+        self.gpu = gpu
+        self.cpu = cpu
+        self.check_memory = check_memory
+        self._stats = EngineStats()
+
+    @property
+    def stats(self) -> EngineStats:
+        """Cumulative hit/miss/compute accounting (cache damage included)."""
+        if self.cache is not None:
+            self._stats.corrupt_entries = self.cache.corrupt_entries
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # grid execution
+    # ------------------------------------------------------------------
+
+    def run_grid(self, specs) -> list:
+        """Execute every :class:`PointSpec`, in grid order, and return one
+        :class:`~repro.core.suite.SweepPoint` per spec."""
+        specs = list(specs)
+        with trace_span(
+            "engine.run_grid", jobs=self.jobs, points=len(specs)
+        ) as grid_span:
+            for spec in specs:
+                model = get_model(spec.model)
+                if not model.supports(spec.framework):
+                    raise ValueError(
+                        f"the paper has no {spec.framework} implementation of "
+                        f"{model.display_name} (available: {model.frameworks})"
+                    )
+            results: list = []
+            missing: list = []
+            keys: list = [None] * len(specs)
+            for index, spec in enumerate(specs):
+                payload = None
+                if self.cache is not None:
+                    keys[index] = point_key(
+                        spec.model,
+                        spec.framework,
+                        spec.batch_size,
+                        gpu=self.gpu,
+                        cpu=self.cpu,
+                    )
+                    payload = self.cache.load(keys[index])
+                    if payload is not None:
+                        try:
+                            payload_to_point(payload)
+                        except ValueError as exc:
+                            self.cache.discard(keys[index], str(exc))
+                            payload = None
+                if payload is not None:
+                    self._stats.cache_hits += 1
+                    get_metrics().counter("engine_cache_hits_total").inc()
+                    self._record_point_span(spec, "cache")
+                    results.append((index, payload))
+                else:
+                    if self.cache is not None:
+                        self._stats.cache_misses += 1
+                        get_metrics().counter("engine_cache_misses_total").inc()
+                    missing.append((index, spec))
+
+            computed = self._execute(missing)
+            for index, payload in computed:
+                if self.cache is not None:
+                    spec = specs[index]
+                    self.cache.store(
+                        keys[index],
+                        payload,
+                        config={
+                            "model": spec.model,
+                            "framework": spec.framework,
+                            "batch_size": spec.batch_size,
+                            "gpu": self.gpu.name,
+                            "cpu": self.cpu.name,
+                        },
+                    )
+            results.extend(computed)
+            grid_span.set_attributes(
+                cache_hits=len(specs) - len(missing), computed=len(missing)
+            )
+        return [payload_to_point(payload) for payload in merge_ordered(len(specs), results)]
+
+    def _execute(self, missing) -> list:
+        """Compute every missing ``(index, spec)`` pair; any-order output."""
+        if not missing:
+            return []
+        if self.jobs == 1 or len(missing) == 1:
+            return self._compute_inline(missing)
+        chunks = [missing[offset :: self.jobs] for offset in range(self.jobs)]
+        chunks = [chunk for chunk in chunks if chunk]
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=len(chunks)
+            )
+        except (OSError, ValueError) as exc:
+            self._warn_degraded(f"process pool unavailable ({exc})")
+            return self._compute_inline(missing)
+        spec_by_index = dict(missing)
+        results: list = []
+        with executor:
+            futures = {
+                executor.submit(
+                    _pool_worker, chunk, self.gpu, self.cpu, self.check_memory
+                ): chunk
+                for chunk in chunks
+            }
+            for future in concurrent.futures.as_completed(futures):
+                chunk = futures[future]
+                try:
+                    chunk_results = future.result()
+                except Exception as exc:  # worker died or raised
+                    self._warn_degraded(
+                        f"worker chunk of {len(chunk)} point(s) failed "
+                        f"({type(exc).__name__}: {exc})"
+                    )
+                    chunk_results = self._compute_inline(chunk)
+                else:
+                    for index, _payload in chunk_results:
+                        self._record_point_span(
+                            spec_by_index[index], "worker", index=index
+                        )
+                    self._count_computed(len(chunk_results), "worker")
+                results.extend(chunk_results)
+        return results
+
+    def _compute_inline(self, items) -> list:
+        """Serial fallback/primary path, executed in this process."""
+        sessions: dict = {}
+        results = []
+        for index, spec in items:
+            with trace_span(
+                "engine.point",
+                model=spec.model,
+                framework=spec.framework,
+                batch_size=spec.batch_size,
+                source="inline",
+            ):
+                results.append(
+                    (
+                        index,
+                        _compute_payload(
+                            spec, self.gpu, self.cpu, self.check_memory, sessions
+                        ),
+                    )
+                )
+        self._count_computed(len(items), "inline")
+        return results
+
+    def _record_point_span(self, spec: PointSpec, source: str, index=None) -> None:
+        """Zero-width marker span for points not simulated in-process
+        (cache hits, pool results) so traces still show the full grid."""
+        span = trace_span(
+            "engine.point",
+            model=spec.model,
+            framework=spec.framework,
+            batch_size=spec.batch_size,
+            source=source,
+        )
+        with span:
+            if index is not None:
+                span.set_attribute("grid_index", index)
+
+    def _count_computed(self, count: int, source: str) -> None:
+        if not count:
+            return
+        self._stats.points_computed += count
+        get_metrics().counter(
+            "engine_points_computed_total", {"source": source}
+        ).inc(count)
+
+    def _warn_degraded(self, reason: str) -> None:
+        self._stats.worker_failures += 1
+        get_metrics().counter("engine_worker_failures_total").inc()
+        warnings.warn(
+            f"sweep engine degraded to inline execution: {reason}",
+            EngineWorkerWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # suite-shaped conveniences
+    # ------------------------------------------------------------------
+
+    def sweep(self, model: str, framework: str, batch_sizes=None) -> list:
+        """Engine-backed equivalent of :meth:`TBDSuite.sweep`."""
+        spec = get_model(model)
+        sizes = batch_sizes if batch_sizes is not None else spec.batch_sizes
+        return self.run_grid(
+            [PointSpec(spec.key, framework, int(batch)) for batch in sizes]
+        )
+
+    def run(self, model: str, framework: str, batch_size: int | None = None):
+        """Engine-backed equivalent of :meth:`TBDSuite.run`.
+
+        Raises:
+            OutOfMemoryError: mirroring the suite's contract for single
+                runs (sweeps record OOM points instead).
+        """
+        spec = get_model(model)
+        batch = batch_size if batch_size is not None else spec.reference_batch
+        (point,) = self.run_grid([PointSpec(spec.key, framework, int(batch))])
+        if point.oom:
+            raise OutOfMemoryError(
+                f"{spec.key} on {framework} at batch {batch} exceeds "
+                f"{self.gpu.name} memory"
+            )
+        return point.metrics

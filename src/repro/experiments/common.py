@@ -37,28 +37,55 @@ class SweepSeries:
         ]
 
 
-def run_sweeps(metric: str, suite: TBDSuite | None = None) -> list:
+def run_sweeps(
+    metric: str, suite: TBDSuite | None = None, engine=None, panels=None
+) -> list:
     """Run every Figs. 4-6 panel and extract ``metric`` from each point.
 
     Args:
         metric: attribute of :class:`~repro.core.metrics.IterationMetrics`
             (``throughput``, ``gpu_utilization``, ``fp32_utilization``).
+        engine: optional :class:`~repro.engine.executor.SweepEngine`; when
+            given, the *whole* grid (every panel, every batch size) is
+            handed to the engine as one flat work list, so worker
+            processes draw from all panels at once and memoized points
+            are skipped — the serial per-panel loop below and the engine
+            path are asserted equivalent by the differential harness.
+        panels: panel tuples ``(model, (framework, ...))``; defaults to
+            the paper's :data:`SWEEP_PANELS`.
     """
+    panels = panels if panels is not None else SWEEP_PANELS
+    if engine is not None:
+        from repro.engine.executor import grid_for
+
+        specs = grid_for(panels)
+        points_by_spec = dict(zip(specs, engine.run_grid(specs)))
+        series = []
+        for model, frameworks in panels:
+            for framework in frameworks:
+                points = [
+                    points_by_spec[spec]
+                    for spec in specs
+                    if spec.model == model and spec.framework == framework
+                ]
+                series.append(_series_from_points(model, framework, points, metric))
+        return series
     suite = suite if suite is not None else standard_suite()
     series = []
-    for model, frameworks in SWEEP_PANELS:
+    for model, frameworks in panels:
         for framework in frameworks:
             points = suite.sweep(model, framework)
-            values = tuple(
-                None if point.oom else getattr(point.metrics, metric)
-                for point in points
-            )
-            series.append(
-                SweepSeries(
-                    model=model,
-                    framework=framework,
-                    batch_sizes=tuple(point.batch_size for point in points),
-                    values=values,
-                )
-            )
+            series.append(_series_from_points(model, framework, points, metric))
     return series
+
+
+def _series_from_points(model: str, framework: str, points, metric: str) -> SweepSeries:
+    """Collapse one panel's sweep points into a :class:`SweepSeries`."""
+    return SweepSeries(
+        model=model,
+        framework=framework,
+        batch_sizes=tuple(point.batch_size for point in points),
+        values=tuple(
+            None if point.oom else getattr(point.metrics, metric) for point in points
+        ),
+    )

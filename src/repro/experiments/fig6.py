@@ -7,12 +7,17 @@ from repro.core.suite import standard_suite
 from repro.experiments.common import run_sweeps
 
 
-def generate(suite=None) -> dict:
-    """Run every Fig. 6 sweep plus the Faster R-CNN point."""
+def generate(suite=None, engine=None) -> dict:
+    """Run every Fig. 6 sweep plus the Faster R-CNN point.
+
+    ``engine`` (see :meth:`TBDSuite.engine`) parallelizes and memoizes
+    the whole grid."""
     suite = suite if suite is not None else standard_suite()
-    sweeps = run_sweeps("fp32_utilization", suite)
+    sweeps = run_sweeps("fp32_utilization", suite, engine=engine)
     faster_rcnn = {
-        framework: suite.run("faster-rcnn", framework, 1).fp32_utilization
+        framework: suite.run(
+            "faster-rcnn", framework, 1, engine=engine
+        ).fp32_utilization
         for framework in ("tensorflow", "mxnet")
     }
     return {"sweeps": sweeps, "faster_rcnn": faster_rcnn}

@@ -13,6 +13,13 @@ from repro.core.suite import standard_suite
 from repro.training.session import TrainingSession
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the sweep engine's default cache at a per-test temp dir so no
+    test (CLI tests especially) writes ``.tbd-cache`` into the repo."""
+    monkeypatch.setenv("TBD_CACHE_DIR", str(tmp_path / "tbd-cache"))
+
+
 @pytest.fixture(scope="session")
 def suite():
     return standard_suite()

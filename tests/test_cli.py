@@ -175,3 +175,55 @@ class TestTraceAndRuns:
         assert code == 1
         assert "outside tolerance" in out
         assert "-20.0" in out
+
+
+class TestEngineCli:
+    def test_sweep_cold_then_warm_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, cold = run_cli(
+            capsys, "sweep", "a3c", "-f", "mxnet", "--cache-dir", cache_dir
+        )
+        assert code == 0
+        assert "0 hit(s)" in cold and "computed" in cold
+        code, warm = run_cli(
+            capsys, "sweep", "a3c", "-f", "mxnet", "--cache-dir", cache_dir
+        )
+        assert code == 0
+        assert "0 computed" in warm and "hit(s)" in warm
+        # The table rows themselves are identical either way.
+        rows = lambda out: [l for l in out.splitlines() if not l.startswith("engine:")]
+        assert rows(cold) == rows(warm)
+
+    def test_sweep_parallel_matches_serial_output(self, capsys, tmp_path):
+        serial_args = ("sweep", "resnet-50", "-f", "tensorflow", "--no-cache")
+        code, serial = run_cli(capsys, *serial_args)
+        assert code == 0
+        code, parallel = run_cli(capsys, *serial_args, "--jobs", "2")
+        assert code == 0
+        rows = lambda out: [l for l in out.splitlines() if not l.startswith("engine:")]
+        assert rows(serial) == rows(parallel)
+
+    def test_sweep_no_cache_reports_cache_off(self, capsys):
+        code, out = run_cli(capsys, "sweep", "a3c", "-f", "mxnet", "--no-cache")
+        assert code == 0
+        assert "(cache off)" in out
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli(capsys, "sweep", "a3c", "-f", "mxnet", "--cache-dir", cache_dir)
+        code, out = run_cli(capsys, "cache", "--dir", cache_dir, "stats")
+        assert code == 0
+        assert "entries: 5" in out and "a3c" in out
+        code, out = run_cli(capsys, "cache", "--dir", cache_dir, "clear")
+        assert code == 0
+        assert "cleared 5 cached point(s)" in out
+        code, out = run_cli(capsys, "cache", "--dir", cache_dir, "stats")
+        assert code == 0
+        assert "entries: 0" in out
+
+    def test_cache_defaults_to_env_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("TBD_CACHE_DIR", str(tmp_path / "env-cache"))
+        run_cli(capsys, "sweep", "a3c", "-f", "mxnet")
+        code, out = run_cli(capsys, "cache", "stats")
+        assert code == 0
+        assert "entries: 5" in out and "env-cache" in out

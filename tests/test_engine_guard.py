@@ -1,0 +1,108 @@
+"""Benchmark guard: the engine must never pay for a point twice.
+
+Pins the engine's work accounting with call-count instrumentation on
+``TrainingSession.run_iteration``: a full-grid ``run_sweeps`` against a
+partially warm cache executes exactly one training session per *missing*
+point, and a fully warm rerun executes none.  Also guards the
+observability contract — the instrumentation lint must keep covering the
+engine's entry points.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.engine import PointSpec, SweepEngine, grid_for
+from repro.experiments.common import SWEEP_PANELS, run_sweeps
+from repro.training.session import TrainingSession
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools")
+)
+from check_instrumentation import REQUIRED, check_instrumentation  # noqa: E402
+
+#: Panels pre-warmed before the guarded full-grid run (10 of 60 points).
+PREWARM_PANELS = (
+    ("resnet-50", ("tensorflow", "mxnet")),
+)
+
+
+@pytest.fixture
+def counted_iterations(monkeypatch):
+    calls = []
+    original = TrainingSession.run_iteration
+
+    def counting(self, batch_size=None):
+        calls.append((self.spec.key, self.framework.key, batch_size))
+        return original(self, batch_size)
+
+    monkeypatch.setattr(TrainingSession, "run_iteration", counting)
+    return calls
+
+
+class TestAtMostOneSessionPerMissingPoint:
+    def test_full_grid_executes_once_per_missing_point(
+        self, tmp_path, counted_iterations
+    ):
+        cache_root = str(tmp_path / "cache")
+        full_grid = grid_for(SWEEP_PANELS)
+        prewarm_grid = grid_for(PREWARM_PANELS)
+        missing = len(full_grid) - len(prewarm_grid)
+        assert missing > 0
+
+        SweepEngine(jobs=1, cache=cache_root).run_grid(prewarm_grid)
+        assert len(counted_iterations) == len(prewarm_grid)
+        counted_iterations.clear()
+
+        engine = SweepEngine(jobs=1, cache=cache_root)
+        run_sweeps("throughput", engine=engine, panels=SWEEP_PANELS)
+        assert len(counted_iterations) == missing, (
+            "every missing point costs exactly one training session"
+        )
+        assert engine.stats.points_computed == missing
+        assert engine.stats.cache_hits == len(prewarm_grid)
+        # No duplicate executions hiding inside the count.
+        assert len(set(counted_iterations)) == len(counted_iterations)
+
+    def test_warm_rerun_executes_zero_sessions(self, tmp_path, counted_iterations):
+        cache_root = str(tmp_path / "cache")
+        grid = grid_for(PREWARM_PANELS)
+        SweepEngine(jobs=1, cache=cache_root).run_grid(grid)
+        counted_iterations.clear()
+
+        warm = SweepEngine(jobs=1, cache=cache_root)
+        run_sweeps("throughput", engine=warm, panels=PREWARM_PANELS)
+        assert counted_iterations == []
+        assert warm.stats.points_computed == 0
+        assert warm.stats.cache_hits == len(grid)
+
+    def test_uncached_engine_still_computes_each_point_once(self, counted_iterations):
+        grid = grid_for(PREWARM_PANELS)
+        SweepEngine(jobs=1, cache=None).run_grid(grid)
+        assert len(counted_iterations) == len(grid)
+        assert len(set(counted_iterations)) == len(grid)
+
+    def test_repeated_single_point_run_hits_after_first(
+        self, tmp_path, counted_iterations
+    ):
+        engine = SweepEngine(jobs=1, cache=str(tmp_path / "cache"))
+        spec = PointSpec("a3c", "mxnet", 64)
+        first = engine.run_grid([spec])
+        for _ in range(3):
+            assert engine.run_grid([spec]) == first
+        assert len(counted_iterations) == 1
+
+
+class TestInstrumentationLintCoversEngine:
+    def test_engine_entry_points_are_required(self):
+        engine_entries = {
+            (class_name, function)
+            for path, class_name, function in REQUIRED
+            if path == "repro/engine/executor.py"
+        }
+        assert ("SweepEngine", "run_grid") in engine_entries
+        assert ("SweepEngine", "_compute_inline") in engine_entries
+
+    def test_lint_passes_on_current_tree(self):
+        assert check_instrumentation() == []

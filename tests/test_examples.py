@@ -65,6 +65,18 @@ def test_trace_run_archives_and_diffs(tmp_path, capsys, monkeypatch):
     assert (runs_dir / "resnet-50-mxnet-b16-002" / "trace.json").exists()
 
 
+def test_parallel_sweep_proves_engine_equality(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    output = _run_example("parallel_sweep.py", capsys)
+    assert "parallel sweep engine" in output
+    assert "parallel == serial: True" in output
+    assert "cached   == cold:   True" in output
+    assert "exported JSONL byte-identical: True" in output
+    assert "computed 0, hits 9" in output
+    assert (tmp_path / "artifacts" / "sweep_cold.jsonl").exists()
+    assert (tmp_path / "artifacts" / "sweep-cache").is_dir()
+
+
 def test_export_traces_writes_artifacts(tmp_path, capsys, monkeypatch):
     monkeypatch.chdir(tmp_path)
     output = _run_example("export_traces.py", capsys)

@@ -21,6 +21,26 @@ class TestSuiteEdges:
         point = SweepPoint(batch_size=8, oom=True)
         assert point.metrics is None
 
+    def test_sweep_point_rejects_oom_with_metrics(self, resnet_mxnet_32):
+        metrics = IterationMetrics.from_profile(resnet_mxnet_32)
+        with pytest.raises(ValueError, match="cannot carry metrics"):
+            SweepPoint(batch_size=32, metrics=metrics, oom=True)
+
+    def test_sweep_point_rejects_measured_without_metrics(self):
+        with pytest.raises(ValueError, match="has no metrics"):
+            SweepPoint(batch_size=32)
+
+    def test_oom_sweep_points_are_explicit(self):
+        """Regression: the OOM path must yield metrics-free, oom-flagged
+        points (not half-populated records) and keep the sweep complete."""
+        old = TBDSuite(gpu=GTX_580)
+        points = old.sweep("resnet-50", "tensorflow")
+        assert [p.batch_size for p in points] == [4, 8, 16, 32, 64]
+        oom_points = [p for p in points if p.oom]
+        assert oom_points, "expected GTX 580 to run out of memory in-sweep"
+        assert all(p.metrics is None for p in oom_points)
+        assert all(p.metrics is not None for p in points if not p.oom)
+
     def test_run_propagates_oom(self, suite):
         with pytest.raises(OutOfMemoryError):
             suite.run("deep-speech-2", "mxnet", 16)

@@ -27,6 +27,8 @@ REQUIRED = [
     ("repro/distributed/parameter_server.py", "ParameterServerExchange", "cost"),
     ("repro/distributed/data_parallel.py", "DataParallelTrainer", "run_iteration"),
     ("repro/data/pipeline.py", "DataPipelineModel", "cost"),
+    ("repro/engine/executor.py", "SweepEngine", "run_grid"),
+    ("repro/engine/executor.py", "SweepEngine", "_compute_inline"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
