@@ -19,6 +19,9 @@ Subcommands:
   telemetry: span tree to stdout, JSONL events + Chrome trace + metrics
   archived under the runs directory.
 - ``tbd runs list|show|diff`` — query the archived-run provenance store.
+- ``tbd plan show MODEL [-f FW] [-b BATCH] [-g GPU]`` — dump one
+  configuration's compiled execution plan (kernel stream, timeline,
+  allocation trace) from :mod:`repro.plan`.
 - ``tbd models`` / ``tbd frameworks`` / ``tbd datasets`` — the catalogs.
 """
 
@@ -250,6 +253,17 @@ def _cmd_runs(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from repro.training.session import TrainingSession
+
+    gpu = get_gpu(args.gpu) if args.gpu else None
+    kwargs = {"gpu": gpu} if gpu else {}
+    session = TrainingSession(args.model, args.framework, **kwargs)
+    plan = session.compile(args.batch)
+    print(plan.describe())
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     for dataset in dataset_catalog().values():
         samples = f"{dataset.num_samples:,}" if dataset.num_samples else "N/A"
@@ -336,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("baseline")
     diff.add_argument("candidate")
     runs.set_defaults(func=_cmd_runs)
+
+    plan = sub.add_parser("plan", help="inspect compiled execution plans")
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    plan_show = plan_sub.add_parser("show", help="dump one configuration's plan")
+    add_config(plan_show)
+    plan.set_defaults(func=_cmd_plan)
 
     compare = sub.add_parser("compare", help="A/B framework comparison")
     compare.add_argument("model")

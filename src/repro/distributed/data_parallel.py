@@ -91,8 +91,8 @@ class DataParallelTrainer:
         )
         with span:
             local = self.session.run_iteration(per_gpu_batch)
-            graph = self.session.spec.build(per_gpu_batch)
-            gradient_bytes = graph.total_weight_bytes
+            plan = self.session.compile(per_gpu_batch)
+            gradient_bytes = plan.graph.total_weight_bytes
 
             cost = self.exchange.cost(gradient_bytes, self.cluster)
             exchange_time = cost.total_s if workers > 1 else 0.0
@@ -123,6 +123,14 @@ class DataParallelTrainer:
             iteration_time_s=iteration,
             samples_per_iteration=local.effective_samples * workers,
         )
+
+    def gradient_schedule(self, per_gpu_batch: int) -> list:
+        """Per-layer ``(layer_name, gradient_ready_s)`` pairs, in the order
+        the backward pass produces them — the schedule a layer-wise push
+        (the mechanism behind ``COMM_OVERLAP``) would follow.  Read straight
+        from the replica's compiled plan."""
+        plan = self.session.compile(per_gpu_batch)
+        return plan.gradient_ready_times()
 
     def sweep(self, per_gpu_batches) -> list:
         """Profile several per-GPU batch sizes (Fig. 10's x-axis)."""

@@ -8,8 +8,8 @@ A sweep point's result is a pure function of
   kernel-efficiency table),
 - the device pair (GPU roofline inputs, host CPU),
 - the mini-batch size and the model's reference hyper-parameters, and
-- the timing-model *code* itself (roofline, kernel library, execution
-  timeline).
+- the timing-model *code* itself (roofline, kernel library, and the
+  plan compiler/executor that lowers and replays the kernel stream).
 
 The key is the SHA-256 of a canonical JSON document over exactly those
 inputs, so any change to any of them moves the key — and therefore
@@ -42,6 +42,7 @@ KEY_SCHEMA = 1
 #: ``repro`` package root.  Directories mean "every .py file inside".
 CORE_CODE = (
     "training/session.py",
+    "plan",
     "hardware/roofline.py",
     "hardware/memory.py",
     "hardware/devices.py",

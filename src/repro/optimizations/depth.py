@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.frameworks.registry import get_framework
 from repro.graph.layer import LayerGraph
 from repro.graph.lowering import dense_layer, pool_layer, softmax_cross_entropy_kernels
 from repro.hardware.devices import GPUSpec, QUADRO_P4000
-from repro.hardware.memory import GPUMemoryAllocator, OutOfMemoryError
+from repro.hardware.memory import OutOfMemoryError
 from repro.models.resnet import resnet_conv_stack
+from repro.plan.transform import ResNetDepthTransform
 from repro.training.session import TrainingSession
 
 #: conv4 block count -> conventional name.
@@ -80,25 +80,21 @@ def deepest_resnet_that_fits(
     Raises:
         OutOfMemoryError: if even the shallowest network does not fit.
     """
-    framework_obj = get_framework(framework)
     session = TrainingSession("resnet-50", framework, gpu=gpu)
+    base_plan = session.compile(batch_size)
     best = None
     for conv4_blocks in range(6, max_conv4_blocks + 1):
-        graph = build_resnet_with_depth(batch_size, conv4_blocks)
-        allocator = GPUMemoryAllocator(
-            gpu.memory_bytes, pool_overhead=framework_obj.pool_overhead
-        )
+        candidate = ResNetDepthTransform(conv4_blocks).apply(base_plan)
         try:
-            session._allocate(graph, allocator)
+            snapshot = candidate.check_memory(gpu.memory_bytes)
         except OutOfMemoryError:
             break
-        snapshot = allocator.snapshot()
-        profile = session.simulate_graph(graph)
+        profile = session.execute_plan(candidate)
         best = DepthPlan(
             batch_size=batch_size,
             conv4_blocks=conv4_blocks,
             layer_count=_layer_count(conv4_blocks),
-            name=graph.model_name,
+            name=candidate.graph.model_name,
             total_gib=snapshot.peak_total / 1024.0**3,
             throughput=profile.throughput,
         )

@@ -132,10 +132,17 @@ def fuse_recurrent_layers(graph: LayerGraph) -> LayerGraph:
 
 
 def evaluate_fusion(session, batch_size: int) -> FusionResult:
-    """Measure the fused-RNN rewrite on one session configuration."""
-    graph = session.spec.build(batch_size)
-    baseline = session.simulate_graph(graph)
-    fused = session.simulate_graph(fuse_recurrent_layers(graph))
+    """Measure the fused-RNN rewrite on one session configuration.
+
+    Both sides come from compiled plans: the baseline from the session's
+    plan cache, the rewrite through :class:`FusedRNNTransform` (which also
+    enforces the FLOP-preservation contract this module promises)."""
+    from repro.plan.transform import FusedRNNTransform
+
+    baseline_plan = session.compile(batch_size)
+    fused_plan = FusedRNNTransform().apply(baseline_plan)
+    baseline = session.execute_plan(baseline_plan)
+    fused = session.execute_plan(fused_plan)
     return FusionResult(
         model=session.spec.display_name,
         framework=session.framework.name,

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.interconnect import Interconnect, PCIE_3_X16
-from repro.hardware.memory import AllocationTag, GPUMemoryAllocator, OutOfMemoryError
+from repro.plan.transform import FeatureMapOffloadTransform
 from repro.training.session import GRADIENT_MAP_FACTOR, TrainingSession
 
 #: Fraction of offload traffic hidden behind compute (vDNN overlaps its
@@ -64,8 +64,9 @@ class FeatureMapOffload:
         if not 0.0 <= offload_fraction <= 1.0:
             raise ValueError("offload fraction must be in [0, 1]")
         session = self.session
-        graph = session.spec.build(batch_size)
-        baseline = session.simulate_graph(graph)
+        plan = session.compile(batch_size)
+        graph = plan.graph
+        baseline = session.execute_plan(plan)
 
         fm_factor = (1.0 + GRADIENT_MAP_FACTOR) * graph.feature_map_overallocation
         stash_bytes = graph.total_feature_map_bytes * fm_factor
@@ -89,43 +90,12 @@ class FeatureMapOffload:
     def fits(self, batch_size: int, offload_fraction: float) -> bool:
         """Does the configuration fit GPU memory with offloading applied?"""
         session = self.session
-        graph = session.spec.build(batch_size)
-        allocator = GPUMemoryAllocator(
-            session.gpu.memory_bytes, pool_overhead=session.framework.pool_overhead
-        )
-        try:
-            session._allocate(graph, allocator)
-        except OutOfMemoryError:
-            # Replay with the offloaded fraction removed from feature maps.
-            allocator = GPUMemoryAllocator(
-                session.gpu.memory_bytes,
-                pool_overhead=session.framework.pool_overhead,
-            )
-            fm_factor = (
-                (1.0 + GRADIENT_MAP_FACTOR)
-                * graph.feature_map_overallocation
-                * (1.0 - offload_fraction)
-            )
-            try:
-                for layer in graph.layers:
-                    if layer.weight_bytes:
-                        allocator.allocate(layer.weight_bytes, AllocationTag.WEIGHTS)
-                        allocator.allocate(
-                            layer.weight_bytes, AllocationTag.WEIGHT_GRADIENTS
-                        )
-                    if layer.stash_bytes:
-                        allocator.allocate(
-                            layer.stash_bytes * fm_factor, AllocationTag.FEATURE_MAPS
-                        )
-                    if layer.workspace_bytes:
-                        allocator.allocate(
-                            layer.workspace_bytes * session.framework.workspace_factor,
-                            AllocationTag.WORKSPACE,
-                        )
-                allocator.allocate(graph.total_weight_bytes, AllocationTag.DYNAMIC)
-            except OutOfMemoryError:
-                return False
-        return True
+        plan = session.compile(batch_size)
+        if plan.fits(session.gpu.memory_bytes):
+            return True
+        # Replay with the offloaded fraction removed from feature maps.
+        offloaded = FeatureMapOffloadTransform(offload_fraction).apply(plan)
+        return offloaded.fits(session.gpu.memory_bytes)
 
     def max_batch_with_offload(self, candidates, offload_fraction: float) -> int:
         """Largest candidate batch that fits when offloading is enabled —

@@ -95,9 +95,11 @@ class HalfPrecisionStorage:
 
     def _plan_unchecked(self, batch_size: int) -> PrecisionPlan:
         """Like :meth:`plan` but without the FP32 capacity check (FP16 may
-        fit where FP32 does not — that is the point)."""
+        fit where FP32 does not — that is the point).  The graph comes from
+        the session's compiled plan, so sweeping candidates never rebuilds
+        a point the session already knows."""
         session = self.session
-        graph = session.spec.build(batch_size)
+        graph = session.compile(batch_size).graph
         fm_factor = (1.0 + GRADIENT_MAP_FACTOR) * graph.feature_map_overallocation
         pool = session.framework.pool_overhead
         fm = graph.total_feature_map_bytes * fm_factor * pool

@@ -1,0 +1,54 @@
+"""Compiled execution plans: the one lowering/timing IR the whole stack
+shares.
+
+The paper's toolchain profiles a workload once and asks many questions of
+the same run.  This package gives the simulated runtime the same shape —
+an XLA-style compile-then-execute split:
+
+- :mod:`repro.plan.compiler` lowers a layer graph once into a
+  :class:`~repro.plan.compiled.CompiledPlan` (kernel stream, roofline
+  timings, dispatch/execute timeline, allocation trace);
+- :mod:`repro.plan.executor` holds the single dispatch/execute replay
+  every timeline in the codebase comes from;
+- :mod:`repro.plan.cache` memoizes plans so each ``(model, framework,
+  batch, gpu)`` point compiles exactly once per session;
+- :mod:`repro.plan.transform` expresses the optimization what-ifs as
+  plan -> plan rewrites with checked conservation contracts.
+"""
+
+from repro.plan.cache import PlanCache, PlanCacheStats
+from repro.plan.compiled import AllocationRecord, CompiledPlan
+from repro.plan.compiler import (
+    compile_graph,
+    lower_kernels,
+    record_allocations,
+    reduced_offload_allocations,
+)
+from repro.plan.executor import ExecutionReplay, replay
+from repro.plan.transform import (
+    FeatureMapOffloadTransform,
+    FusedRNNTransform,
+    HalfPrecisionStorageTransform,
+    PlanTransform,
+    ResNetDepthTransform,
+    TransformContractError,
+)
+
+__all__ = [
+    "AllocationRecord",
+    "CompiledPlan",
+    "ExecutionReplay",
+    "FeatureMapOffloadTransform",
+    "FusedRNNTransform",
+    "HalfPrecisionStorageTransform",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanTransform",
+    "ResNetDepthTransform",
+    "TransformContractError",
+    "compile_graph",
+    "lower_kernels",
+    "record_allocations",
+    "reduced_offload_allocations",
+    "replay",
+]

@@ -1,0 +1,222 @@
+"""The compiled execution-plan IR.
+
+A :class:`CompiledPlan` is the immutable, fully-lowered form of one
+``(model graph, framework, batch, GPU)`` point: the specialized kernel
+stream, its roofline timings, the resolved dispatch/execute timeline, and
+the allocation trace a training iteration replays through the memory
+allocator.  It is the single substrate every consumer reads —
+``TrainingSession`` executes plans, the optimization what-ifs transform
+them, ``distributed.data_parallel`` derives gradient-ready times from
+their timelines, and the profiling/telemetry layers export them — so the
+expensive build/lower/time work happens exactly once per point (see
+:class:`repro.plan.cache.PlanCache`).
+
+Memory capacity checks *replay* the recorded allocation trace through a
+real :class:`~repro.hardware.memory.GPUMemoryAllocator` rather than
+comparing a precomputed peak against capacity: the allocator's running
+total is recomputed per allocation, so only a true replay reproduces the
+exact out-of-memory boundary (and error message) of the uncompiled path.
+Each capacity's outcome — snapshot or exception — is memoized on the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frameworks.base import Framework
+from repro.graph.layer import LayerGraph
+from repro.hardware.devices import GPUSpec
+from repro.hardware.memory import AllocationTag, GPUMemoryAllocator
+
+from repro.plan.executor import ExecutionReplay
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """One entry of a plan's allocation trace."""
+
+    num_bytes: float
+    tag: AllocationTag
+    label: str = ""
+
+
+class CompiledPlan:
+    """One fully-lowered, fully-timed execution point.
+
+    Treat instances as immutable: plans are shared through the cache and
+    across transforms, and every derived quantity is memoized.
+    """
+
+    def __init__(
+        self,
+        graph: LayerGraph,
+        framework: Framework,
+        gpu: GPUSpec,
+        kernels: list,
+        timings: list,
+        execution: ExecutionReplay,
+        allocations: list,
+        backward_spans: tuple = (),
+    ):
+        self.graph = graph
+        self.framework = framework
+        self.gpu = gpu
+        self.kernels = kernels
+        self.timings = timings
+        self.execution = execution
+        self.allocations = allocations
+        #: ``(layer name, first backward-kernel index, end index)`` per
+        #: weighted layer, in stream order; indices survive kernel
+        #: specialization because it rewrites kernels one-to-one.
+        self.backward_spans = tuple(backward_spans)
+        # Accumulated in stream order, exactly as the session always has.
+        self.total_flops = sum(t.kernel.flops for t in timings)
+        self._capacity_outcomes: dict = {}
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def key(self) -> tuple:
+        """The point this plan was compiled for."""
+        return (
+            self.graph.model_name,
+            self.framework.key,
+            self.graph.batch_size,
+            self.gpu.name,
+        )
+
+    # -- execution view ------------------------------------------------
+
+    @property
+    def timeline(self):
+        return self.execution.timeline
+
+    @property
+    def makespan_s(self) -> float:
+        return self.execution.makespan_s
+
+    @property
+    def gpu_busy_s(self) -> float:
+        return self.execution.gpu_busy_s
+
+    @property
+    def dispatch_cpu_s(self) -> float:
+        return self.execution.dispatch_cpu_s
+
+    def gradient_ready_times(self) -> list:
+        """``(layer name, seconds)`` when each weighted layer's gradient is
+        complete — the end of its last backward kernel on the timeline.
+
+        Layers appear in backward (stream) order, so the list is
+        non-decreasing in time: the schedule a layer-wise gradient push
+        overlaps against (the mechanism behind ``COMM_OVERLAP``).
+        """
+        events = self.timeline.events
+        return [
+            (name, events[end - 1].end_s)
+            for name, _start, end in self.backward_spans
+        ]
+
+    # -- memory view ---------------------------------------------------
+
+    def check_memory(self, capacity_bytes: float):
+        """Replay the allocation trace against ``capacity_bytes``.
+
+        Returns the :class:`~repro.hardware.memory.MemorySnapshot`;
+        raises :class:`~repro.hardware.memory.OutOfMemoryError` exactly
+        where (and with the message) a live allocator would.  Outcomes are
+        memoized per capacity.
+        """
+        from repro.hardware.memory import OutOfMemoryError
+
+        outcome = self._capacity_outcomes.get(capacity_bytes)
+        if outcome is None:
+            allocator = GPUMemoryAllocator(
+                capacity_bytes, pool_overhead=self.framework.pool_overhead
+            )
+            try:
+                for record in self.allocations:
+                    allocator.allocate(record.num_bytes, record.tag, record.label)
+                outcome = allocator.snapshot()
+            except OutOfMemoryError as error:
+                outcome = error
+            self._capacity_outcomes[capacity_bytes] = outcome
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def fits(self, capacity_bytes: float) -> bool:
+        """Does the full allocation trace fit in ``capacity_bytes``?"""
+        from repro.hardware.memory import OutOfMemoryError
+
+        try:
+            self.check_memory(capacity_bytes)
+        except OutOfMemoryError:
+            return False
+        return True
+
+    @property
+    def memory(self):
+        """The unconstrained footprint snapshot (capacity-independent)."""
+        return self.check_memory(float("inf"))
+
+    def with_allocations(self, allocations) -> "CompiledPlan":
+        """A sibling plan with a rewritten allocation trace (same kernel
+        stream and timeline) — how memory-only transforms derive plans."""
+        return CompiledPlan(
+            graph=self.graph,
+            framework=self.framework,
+            gpu=self.gpu,
+            kernels=self.kernels,
+            timings=self.timings,
+            execution=self.execution,
+            allocations=list(allocations),
+            backward_spans=self.backward_spans,
+        )
+
+    # -- presentation --------------------------------------------------
+
+    def describe(self, top: int = 8) -> str:
+        """Human-readable dump: kernel stream, timeline, memory trace."""
+        timeline = self.timeline
+        lines = [
+            f"compiled plan: {self.graph.model_name} / {self.framework.name} "
+            f"b={self.graph.batch_size} on {self.gpu.name}",
+            f"  kernels        {len(self.kernels)}",
+            f"  gpu busy       {self.gpu_busy_s * 1e3:9.3f} ms",
+            f"  makespan       {self.makespan_s * 1e3:9.3f} ms "
+            f"(utilization {timeline.gpu_utilization * 100.0:5.1f}%)",
+            f"  dispatch cpu   {self.dispatch_cpu_s * 1e3:9.3f} ms",
+            f"  total flops    {self.total_flops:.3e}",
+        ]
+        idle = timeline.idle_by_cause()
+        if idle:
+            causes = ", ".join(
+                f"{cause} {seconds * 1e3:.3f} ms"
+                for cause, seconds in sorted(idle.items())
+            )
+            lines.append(f"  idle by cause  {causes}")
+        lines.append(f"  top kernels by accumulated GPU time (of {top} shown):")
+        by_name: dict = {}
+        for timing in self.timings:
+            entry = by_name.setdefault(timing.kernel.name, [0, 0.0])
+            entry[0] += 1
+            entry[1] += timing.duration_s
+        ranked = sorted(by_name.items(), key=lambda item: item[1][1], reverse=True)
+        for name, (count, seconds) in ranked[:top]:
+            lines.append(f"    {name:42s} x{count:<5d} {seconds * 1e3:9.3f} ms")
+        totals: dict = {}
+        for record in self.allocations:
+            totals[record.tag] = totals.get(record.tag, 0.0) + record.num_bytes
+        lines.append(
+            f"  allocation trace ({len(self.allocations)} records, "
+            f"pool overhead x{self.framework.pool_overhead:.2f}):"
+        )
+        for tag in sorted(totals, key=lambda tag: tag.value):
+            lines.append(
+                f"    {tag.value:18s} {totals[tag] / 1024.0 ** 2:10.1f} MiB"
+            )
+        lines.append(
+            f"  peak footprint {self.memory.peak_total / 1024.0 ** 3:.2f} GiB"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Plan transforms: the optimization what-ifs as explicit plan -> plan
+rewrites with centrally-checked conservation contracts.
+
+Every optimization the paper's Section 4 discusses — fused RNN kernels,
+FP16 storage, deeper models in the freed memory, vDNN-style feature-map
+offloading — is a rewrite of a compiled plan.  Expressing them as
+:class:`PlanTransform` subclasses buys two things: transforms compose
+(apply one transform's output to the next), and each one *declares*
+whether it preserves total FLOPs and total weight bytes, which
+``apply`` verifies after every rewrite.  A transform that silently
+changes the amount of work it claims to merely reschedule is a modeling
+bug; :class:`TransformContractError` turns it into a loud one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.hardware.memory import AllocationTag
+from repro.observability.tracer import trace_span
+
+from repro.plan import compiler
+from repro.plan.compiled import CompiledPlan
+
+
+class TransformContractError(RuntimeError):
+    """A transform violated a conservation contract it declared."""
+
+
+class PlanTransform:
+    """Base class: ``apply`` wraps the subclass rewrite with tracing and
+    the declared conservation checks."""
+
+    #: Human-readable transform identity (span attribute, error messages).
+    name = "transform"
+    #: Declared contracts, verified by :meth:`apply` after every rewrite.
+    preserves_flops = True
+    preserves_weight_bytes = True
+    #: Tolerance for the FLOP contract (rewrites may reassociate sums).
+    flops_rel_tol = 1e-9
+
+    def apply(self, plan: CompiledPlan) -> CompiledPlan:
+        """Rewrite ``plan`` and enforce the declared contracts."""
+        span = trace_span(
+            "plan.transform",
+            transform=self.name,
+            model=plan.graph.model_name,
+            batch_size=plan.graph.batch_size,
+        )
+        with span:
+            result = self.rewrite(plan)
+            self._enforce_contracts(plan, result)
+            span.set_attributes(
+                kernels_before=len(plan.kernels),
+                kernels_after=len(result.kernels),
+            )
+        return result
+
+    def rewrite(self, plan: CompiledPlan) -> CompiledPlan:
+        raise NotImplementedError
+
+    def _enforce_contracts(self, source: CompiledPlan, result: CompiledPlan) -> None:
+        if self.preserves_flops and not math.isclose(
+            result.total_flops, source.total_flops, rel_tol=self.flops_rel_tol
+        ):
+            raise TransformContractError(
+                f"{self.name} declares FLOP preservation but moved total "
+                f"FLOPs from {source.total_flops:.6e} to {result.total_flops:.6e}"
+            )
+        if (
+            self.preserves_weight_bytes
+            and result.graph.total_weight_bytes != source.graph.total_weight_bytes
+        ):
+            raise TransformContractError(
+                f"{self.name} declares weight-byte preservation but moved "
+                f"total weight bytes from {source.graph.total_weight_bytes} "
+                f"to {result.graph.total_weight_bytes}"
+            )
+
+
+class FusedRNNTransform(PlanTransform):
+    """cuDNN-style fused RNN rewrite: same FLOPs, coarser launches, no
+    host round-trips (the paper's top LSTM recommendation)."""
+
+    name = "fused-rnn"
+
+    def rewrite(self, plan: CompiledPlan) -> CompiledPlan:
+        from repro.optimizations.fusion import fuse_recurrent_layers
+
+        return compiler.compile_graph(
+            fuse_recurrent_layers(plan.graph), plan.framework, plan.gpu
+        )
+
+
+class HalfPrecisionStorageTransform(PlanTransform):
+    """FP16 feature-map/gradient storage with an FP32 master weight copy:
+    compute (and therefore FLOPs) unchanged, allocation trace rescaled."""
+
+    name = "fp16-storage"
+
+    #: Allocation-trace scale per tag: maps and gradients halve, weights
+    #: grow by the FP16 working copy, optimizer state stays FP32.
+    SCALES = {
+        AllocationTag.FEATURE_MAPS: 0.5,
+        AllocationTag.WEIGHT_GRADIENTS: 0.5,
+        AllocationTag.WEIGHTS: 1.5,
+    }
+
+    def rewrite(self, plan: CompiledPlan) -> CompiledPlan:
+        rescaled = [
+            replace(
+                record, num_bytes=record.num_bytes * self.SCALES.get(record.tag, 1.0)
+            )
+            for record in plan.allocations
+        ]
+        return plan.with_allocations(rescaled)
+
+
+class FeatureMapOffloadTransform(PlanTransform):
+    """vDNN-style offload of a stash fraction to host memory: kernels and
+    timings untouched, the allocation trace replaced by the reduced replay
+    (offloaded maps gone, staging spilled, optimizer state dynamic)."""
+
+    name = "feature-map-offload"
+
+    def __init__(self, offload_fraction: float):
+        if not 0.0 <= offload_fraction <= 1.0:
+            raise ValueError("offload fraction must be in [0, 1]")
+        self.offload_fraction = offload_fraction
+
+    def rewrite(self, plan: CompiledPlan) -> CompiledPlan:
+        return plan.with_allocations(
+            compiler.reduced_offload_allocations(
+                plan.graph, plan.framework, self.offload_fraction
+            )
+        )
+
+
+class ResNetDepthTransform(PlanTransform):
+    """Reinvest freed memory in depth (Observation 12): swap the plan's
+    graph for a residual network with a different conv4 stage.  Deeper
+    networks do more work, so neither conservation contract holds — the
+    declarations say so."""
+
+    name = "resnet-depth"
+    preserves_flops = False
+    preserves_weight_bytes = False
+
+    def __init__(self, conv4_blocks: int):
+        self.conv4_blocks = conv4_blocks
+
+    def rewrite(self, plan: CompiledPlan) -> CompiledPlan:
+        from repro.optimizations.depth import build_resnet_with_depth
+
+        return compiler.compile_graph(
+            build_resnet_with_depth(plan.graph.batch_size, self.conv4_blocks),
+            plan.framework,
+            plan.gpu,
+        )

@@ -74,8 +74,7 @@ class CPUSampler:
         profile = session.run_iteration(batch)
 
         framework = session.framework
-        graph = session.spec.build(batch)
-        kernels = session._iteration_kernels(graph)
+        kernels = session.compile(batch).kernels
         sync_count = sum(1 for k in kernels if k.host_sync)
         dispatch = framework.dispatch_cost_s * len(kernels)
         sync = framework.sync_latency_s * sync_count

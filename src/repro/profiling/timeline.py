@@ -2,143 +2,33 @@
 
 The paper's toolchain merges nvprof timelines ("a timeline of both CPU and
 GPU activities at the function/kernel level") with vTune data to find where
-iterations lose time.  This module reconstructs that view for the simulated
-runtime: it replays the CPU-dispatch / GPU-execute loop, records a
-:class:`TimelineEvent` per kernel (queue time, start, end), and answers the
-diagnostic questions the paper asks of its timelines — where are the gaps,
-what causes them (dispatch starvation vs. host syncs), and how much time
-each kernel category occupies.
+iterations lose time.  The vocabulary of that view — :class:`TimelineEvent`
+per kernel (queue time, start, end), idle :class:`Gap` records, and the
+:class:`Timeline` analysis queries (where are the gaps, what causes them,
+how much time each kernel category occupies) — lives with the single
+replay implementation in :mod:`repro.plan.executor` and is re-exported
+here.  Compiled plans carry their timelines; :func:`build_timeline` and
+:func:`timeline_for` are facades over that one implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.frameworks.base import Framework
-from repro.kernels.base import KernelCategory
+from repro.plan.executor import Gap, Timeline, TimelineEvent, replay
 
-
-@dataclass(frozen=True)
-class TimelineEvent:
-    """One kernel execution on the GPU timeline."""
-
-    name: str
-    category: KernelCategory
-    issued_s: float  # when the CPU finished issuing it
-    start_s: float  # when the GPU started executing it
-    end_s: float
-    host_sync: bool
-
-    @property
-    def duration_s(self) -> float:
-        return self.end_s - self.start_s
-
-    @property
-    def queue_delay_s(self) -> float:
-        """Time between issue and execution start (GPU was busy)."""
-        return max(0.0, self.start_s - self.issued_s)
-
-
-@dataclass(frozen=True)
-class Gap:
-    """One idle interval on the GPU timeline."""
-
-    start_s: float
-    end_s: float
-    cause: str  # "dispatch" | "host sync" | "frontend"
-
-    @property
-    def duration_s(self) -> float:
-        return self.end_s - self.start_s
-
-
-@dataclass
-class Timeline:
-    """A reconstructed iteration timeline with analysis queries."""
-
-    events: list = field(default_factory=list)
-    gaps: list = field(default_factory=list)
-    makespan_s: float = 0.0
-
-    @property
-    def busy_s(self) -> float:
-        return sum(event.duration_s for event in self.events)
-
-    @property
-    def idle_s(self) -> float:
-        return sum(gap.duration_s for gap in self.gaps)
-
-    @property
-    def gpu_utilization(self) -> float:
-        if self.makespan_s <= 0:
-            return 0.0
-        return min(1.0, self.busy_s / self.makespan_s)
-
-    def idle_by_cause(self) -> dict:
-        """Total idle seconds per cause — the 'where do iterations lose
-        time' question."""
-        totals: dict = {}
-        for gap in self.gaps:
-            totals[gap.cause] = totals.get(gap.cause, 0.0) + gap.duration_s
-        return totals
-
-    def busy_by_category(self) -> dict:
-        """GPU-busy seconds per kernel category."""
-        totals: dict = {}
-        for event in self.events:
-            totals[event.category] = totals.get(event.category, 0.0) + event.duration_s
-        return totals
-
-    def longest_gaps(self, count: int = 5) -> list:
-        """The largest idle intervals, the merge-analysis headline."""
-        if count <= 0:
-            raise ValueError("count must be positive")
-        return sorted(self.gaps, key=lambda g: g.duration_s, reverse=True)[:count]
+__all__ = ["Gap", "Timeline", "TimelineEvent", "build_timeline", "timeline_for"]
 
 
 def build_timeline(timings, framework: Framework) -> Timeline:
     """Replay the dispatch/execute loop and record events and gaps.
 
-    Mirrors :meth:`repro.training.session.TrainingSession._execute_timeline`
-    exactly (asserted by tests), but keeps the full event record.
+    Thin facade over the single replay implementation in
+    :func:`repro.plan.executor.replay`.
     """
-    dispatch = framework.dispatch_cost_s
-    sync = framework.sync_latency_s
-    cpu_ready = framework.frontend_cost_s
-    gpu_free = 0.0
-    events: list = []
-    gaps: list = []
-    pending_cause = "frontend"
-    for timing in timings:
-        cpu_ready += dispatch
-        start = max(gpu_free, cpu_ready)
-        if start > gpu_free:
-            gaps.append(Gap(start_s=gpu_free, end_s=start, cause=pending_cause))
-        end = start + timing.duration_s
-        events.append(
-            TimelineEvent(
-                name=timing.kernel.name,
-                category=timing.kernel.category,
-                issued_s=cpu_ready,
-                start_s=start,
-                end_s=end,
-                host_sync=timing.kernel.host_sync,
-            )
-        )
-        gpu_free = end
-        if timing.kernel.host_sync:
-            cpu_ready = gpu_free + sync
-            pending_cause = "host sync"
-        else:
-            pending_cause = "dispatch"
-    return Timeline(events=events, gaps=gaps, makespan_s=max(gpu_free, cpu_ready))
+    return replay(timings, framework).timeline
 
 
 def timeline_for(session, batch_size: int | None = None) -> Timeline:
-    """Build the timeline of one of a session's iterations."""
-    spec = session.spec
-    batch = batch_size if batch_size is not None else spec.reference_batch
-    graph = spec.build(batch)
-    kernels = session._iteration_kernels(graph)
-    timings = session._roofline.time_kernels(kernels)
-    return build_timeline(timings, session.framework)
+    """The timeline of one of a session's iterations, straight from its
+    cached compiled plan — no re-simulation."""
+    return session.compile(batch_size).timeline

@@ -4,24 +4,24 @@ under one framework and produces every metric the paper's toolchain reports.
 Execution model
 ===============
 
-The CPU issues kernels one after another, each issue costing the
-framework's ``dispatch_cost_s``; the GPU executes them in stream order.  A
-kernel starts when both (a) the GPU is free and (b) the CPU has issued it:
-
-    cpu_ready += dispatch_cost
-    start      = max(gpu_free, cpu_ready)
-    gpu_free   = start + kernel_duration
-
-When kernels are long (big convolutions) the GPU never waits and compute
-utilization approaches 100%; when they are tiny and numerous (per-timestep
-RNN kernels, small batches) the dispatch+launch path dominates and the GPU
-idles between kernels — the paper's Observations 4 and 5 fall out of this
-loop directly.
-
-On top of the kernel timeline the session accounts the host-side input
+Sessions follow a compile-then-execute split.  ``compile`` lowers the
+model's layer graph once into a :class:`~repro.plan.compiled.CompiledPlan`
+— kernel stream, roofline timings, the resolved CPU-dispatch/GPU-execute
+timeline, and the allocation trace — memoized per batch size in the
+session's :class:`~repro.plan.cache.PlanCache`.  ``execute_plan`` then
+derives the iteration profile from a plan: it layers the host-side input
 pipeline (decode/augment, partially overlapped), framework frontend work,
 model-specific host stages (Faster R-CNN proposals), and environment
-simulation (A3C's emulator), then derives the paper's Eq. 1-3 metrics.
+simulation (A3C's emulator) on top of the plan's kernel makespan, and
+reports the paper's Eq. 1-3 metrics.
+
+The dispatch/execute loop itself lives in :mod:`repro.plan.executor`: the
+CPU issues kernels one after another, each issue costing the framework's
+``dispatch_cost_s``, and the GPU executes them in stream order.  When
+kernels are long (big convolutions) the GPU never waits and compute
+utilization approaches 100%; when they are tiny and numerous (per-timestep
+RNN kernels, small batches) the dispatch+launch path dominates and the GPU
+idles between kernels — the paper's Observations 4 and 5.
 """
 
 from __future__ import annotations
@@ -30,20 +30,22 @@ from dataclasses import dataclass, field
 
 from repro.data.pipeline import DataPipelineModel
 from repro.data.registry import get_dataset
-from repro.frameworks.base import Framework, MomentumAllocation
+from repro.frameworks.base import Framework
 from repro.frameworks.registry import get_framework
 from repro.graph.layer import LayerGraph
 from repro.hardware.devices import CPUSpec, GPUSpec, QUADRO_P4000, XEON_E5_2680
-from repro.hardware.memory import AllocationTag, GPUMemoryAllocator
 from repro.hardware.roofline import RooflineModel
-import repro.kernels.misc as misc
 from repro.models.registry import ModelSpec, get_model
 from repro.observability.metrics import get_metrics
 from repro.observability.tracer import trace_span
+from repro.plan import compiler as plan_compiler
+from repro.plan.cache import PlanCache
+from repro.plan.compiled import CompiledPlan
 
 #: Live activation-gradient working set, as a fraction of the stashed
 #: forward feature maps (gradient maps are produced and consumed during the
-#: backward pass; frameworks keep a rolling subset alive).
+#: backward pass; frameworks keep a rolling subset alive).  Read lazily by
+#: the plan compiler's allocation-trace recorder so ablations can patch it.
 GRADIENT_MAP_FACTOR = 0.10
 #: Host-side staging buffers (double-buffered input batches).
 _INPUT_STAGING_BUFFERS = 2
@@ -81,10 +83,17 @@ class IterationProfile:
 
     @property
     def fp32_utilization(self) -> float:
-        """Achieved FLOP/s over peak while the GPU is active (paper Eq. 2)."""
+        """Achieved FLOP/s over peak while the GPU is active (paper Eq. 2).
+
+        Clamped to [0, 1] like the other utilizations: launch latency and
+        occupancy ramps keep real kernels below peak, but a degenerate
+        timing input must not report more than 100%.
+        """
         if self.gpu_busy_time_s <= 0:
             return 0.0
-        return self.gpu_flops / (self.peak_fp32_flops * self.gpu_busy_time_s)
+        return min(
+            1.0, self.gpu_flops / (self.peak_fp32_flops * self.gpu_busy_time_s)
+        )
 
     @property
     def cpu_utilization(self) -> float:
@@ -96,8 +105,9 @@ class IterationProfile:
 
 
 class TrainingSession:
-    """Binds a model, a framework personality and a device, and simulates
-    stable-phase training iterations."""
+    """Binds a model, a framework personality and a device; compiles the
+    model into cached execution plans and simulates stable-phase training
+    iterations over them."""
 
     def __init__(
         self,
@@ -120,55 +130,48 @@ class TrainingSession:
         self._roofline = RooflineModel(gpu)
         self._dataset = get_dataset(self.spec.dataset)
         self._pipeline = DataPipelineModel(self._dataset)
+        self._plans = PlanCache()
 
     # ------------------------------------------------------------------
-    # kernel stream
+    # compilation
     # ------------------------------------------------------------------
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """This session's plan memo (hit/miss stats for guards/tools)."""
+        return self._plans
+
+    def compile(self, batch_size: int | None = None) -> CompiledPlan:
+        """The session's compiled plan for one batch size, built at most
+        once per distinct batch (graph build + kernel lowering + roofline
+        timing + dispatch/execute replay + allocation trace).
+
+        The memory-model constants are compile inputs (the allocation
+        trace bakes them in), so they join the cache key — ablations that
+        patch them get fresh plans instead of stale traces."""
+        batch = batch_size if batch_size is not None else self.spec.reference_batch
+        return self._plans.get(
+            (int(batch), GRADIENT_MAP_FACTOR, _INPUT_STAGING_BUFFERS),
+            lambda: plan_compiler.compile_graph(
+                self.spec.build(batch),
+                self.framework,
+                self.gpu,
+                roofline=self._roofline,
+            ),
+        )
 
     def _iteration_kernels(self, graph: LayerGraph) -> list:
-        """The full kernel stream of one iteration: input copy, forward,
-        loss, backward, and one optimizer-update kernel per weighted layer
-        (frameworks launch per-tensor updates)."""
-        kernels = [misc.memcpy_h2d(graph.input_bytes)]
-        kernels.extend(graph.iteration_kernels())
-        for layer in graph.layers:
-            if layer.weight_elements > 0:
-                kernels.append(misc.sgd_update(layer.weight_elements, momentum=True))
-        return self.framework.specialize_kernels(kernels)
-
-    def _execute_timeline(self, timings) -> tuple:
-        """Run the CPU-dispatch / GPU-execute timeline.
-
-        Returns ``(makespan_s, gpu_busy_s, dispatch_cpu_s)``.
-        """
-        dispatch = self.framework.dispatch_cost_s
-        sync = self.framework.sync_latency_s
-        cpu_ready = self.framework.frontend_cost_s
-        gpu_free = 0.0
-        busy = 0.0
-        sync_cpu = 0.0
-        for timing in timings:
-            cpu_ready += dispatch
-            start = max(gpu_free, cpu_ready)
-            gpu_free = start + timing.duration_s
-            busy += timing.duration_s
-            if timing.kernel.host_sync:
-                # The framework waits for this result, then spends the sync
-                # latency in control-flow code before issuing anything else.
-                cpu_ready = gpu_free + sync
-                sync_cpu += sync
-        dispatch_cpu = (
-            self.framework.frontend_cost_s + dispatch * len(timings) + sync_cpu
-        )
-        return max(gpu_free, cpu_ready), busy, dispatch_cpu
+        """The specialized kernel stream of one iteration (delegates to
+        the plan compiler's lowering)."""
+        return plan_compiler.lower_kernels(graph, self.framework)
 
     # ------------------------------------------------------------------
     # memory
     # ------------------------------------------------------------------
 
     def profile_memory(self, batch_size: int) -> object:
-        """Build the graph and replay its allocations through the tagged
-        allocator; returns a :class:`~repro.hardware.memory.MemorySnapshot`.
+        """Replay the compiled plan's allocation trace against this GPU's
+        capacity; returns a :class:`~repro.hardware.memory.MemorySnapshot`.
 
         Raises:
             OutOfMemoryError: if the footprint exceeds GPU capacity.
@@ -176,50 +179,10 @@ class TrainingSession:
         with trace_span(
             "session.profile_memory", model=self.spec.key, batch_size=batch_size
         ):
-            graph = self.spec.build(batch_size)
-            allocator = GPUMemoryAllocator(
-                self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
-            )
-            self._allocate(graph, allocator)
-            snapshot = allocator.snapshot()
+            plan = self.compile(batch_size)
+            snapshot = plan.check_memory(self.gpu.memory_bytes)
         self._record_memory_telemetry(snapshot)
         return snapshot
-
-    def _allocate(self, graph: LayerGraph, allocator: GPUMemoryAllocator) -> None:
-        """Replay one training setup + iteration's allocations."""
-        fm_factor = (1.0 + GRADIENT_MAP_FACTOR) * graph.feature_map_overallocation
-        # Static allocations, in framework order: weights, gradients, maps.
-        for layer in graph.layers:
-            if layer.weight_bytes:
-                allocator.allocate(layer.weight_bytes, AllocationTag.WEIGHTS, layer.name)
-                allocator.allocate(
-                    layer.weight_bytes, AllocationTag.WEIGHT_GRADIENTS, layer.name
-                )
-            if layer.stash_bytes:
-                allocator.allocate(
-                    layer.stash_bytes * fm_factor,
-                    AllocationTag.FEATURE_MAPS,
-                    layer.name,
-                )
-            if layer.workspace_bytes:
-                allocator.allocate(
-                    layer.workspace_bytes * self.framework.workspace_factor,
-                    AllocationTag.WORKSPACE,
-                    layer.name,
-                )
-        if graph.input_bytes:
-            allocator.allocate(
-                graph.input_bytes * _INPUT_STAGING_BUFFERS,
-                AllocationTag.FEATURE_MAPS,
-                "input staging",
-            )
-        # Optimizer state: statically with the weights (TF/CNTK) or lazily
-        # during the first iterations (MXNet -> the paper's "dynamic" class).
-        momentum_bytes = graph.total_weight_bytes
-        if self.framework.momentum_allocation is MomentumAllocation.DYNAMIC:
-            allocator.allocate(momentum_bytes, AllocationTag.DYNAMIC, "momentum")
-        else:
-            allocator.allocate(momentum_bytes, AllocationTag.WEIGHTS, "momentum")
 
     # ------------------------------------------------------------------
     # telemetry (no-op unless repro.observability is enabled)
@@ -236,13 +199,10 @@ class TrainingSession:
             )
         metrics.gauge("memory_peak_total_bytes").set(snapshot.peak_total)
 
-    def _record_kernel_telemetry(self, span, timings) -> None:
-        """Attach the kernel timeline to the open span and update the
-        kernel-stream metrics.  Only called when telemetry is enabled, so
-        the extra timeline replay never taxes the plain simulation path."""
-        from repro.profiling.timeline import build_timeline
-
-        timeline = build_timeline(timings, self.framework)
+    def _record_kernel_telemetry(self, span, timeline) -> None:
+        """Attach the plan's kernel timeline to the open span and update
+        the kernel-stream metrics.  Only called when telemetry is enabled,
+        so the lookup never taxes the plain simulation path."""
         if span.enabled:
             span.attach_timeline(timeline)
         metrics = get_metrics()
@@ -260,7 +220,7 @@ class TrainingSession:
             metrics.counter("dispatch_stalls_total").inc(stalls)
 
     # ------------------------------------------------------------------
-    # the headline entry point
+    # the headline entry points
     # ------------------------------------------------------------------
 
     def run_iteration(self, batch_size: int | None = None) -> IterationProfile:
@@ -277,17 +237,13 @@ class TrainingSession:
             device=self.gpu.name,
             batch_size=batch,
         ):
-            graph = self.spec.build(batch)
+            plan = self.compile(batch)
             memory = None
             if self.check_memory:
-                allocator = GPUMemoryAllocator(
-                    self.gpu.memory_bytes, pool_overhead=self.framework.pool_overhead
-                )
-                self._allocate(graph, allocator)
-                memory = allocator.snapshot()
+                memory = plan.check_memory(self.gpu.memory_bytes)
                 self._record_memory_telemetry(memory)
-            return self.simulate_graph(
-                graph, memory=memory, display_name=self.spec.display_name
+            return self.execute_plan(
+                plan, memory=memory, display_name=self.spec.display_name
             )
 
     def simulate_graph(
@@ -296,21 +252,38 @@ class TrainingSession:
         memory=None,
         display_name: str | None = None,
     ) -> IterationProfile:
-        """Run an arbitrary (possibly transformed) layer graph through this
-        session's framework/device timeline — the hook the optimization
-        what-ifs (:mod:`repro.optimizations`) use to evaluate graph
-        rewrites.  Host-side costs are accounted as for the session's model.
+        """Compile and execute an arbitrary (possibly transformed) layer
+        graph under this session's framework/device — the hook ad-hoc
+        graph rewrites use.  Bypasses the plan cache: callers with a
+        cacheable graph should go through :meth:`compile` +
+        :meth:`execute_plan` instead."""
+        plan = plan_compiler.compile_graph(
+            graph, self.framework, self.gpu, roofline=self._roofline
+        )
+        return self.execute_plan(plan, memory=memory, display_name=display_name)
+
+    def execute_plan(
+        self,
+        plan: CompiledPlan,
+        memory=None,
+        display_name: str | None = None,
+    ) -> IterationProfile:
+        """Derive one iteration's profile from a compiled plan.
+
+        The plan supplies the device-side quantities (makespan, busy time,
+        dispatch CPU seconds, FLOPs); this method layers the session's
+        host-side costs on top.  Host costs are accounted for the
+        session's model regardless of the plan's graph.
         """
+        graph = plan.graph
         batch = graph.batch_size
         span = trace_span(
             "session.simulate_graph", model=graph.model_name, batch_size=batch
         )
         with span:
-            kernels = self._iteration_kernels(graph)
-            timings = self._roofline.time_kernels(kernels)
-            makespan, busy, dispatch_cpu = self._execute_timeline(timings)
+            timings = plan.timings
             if span.enabled or get_metrics().enabled:
-                self._record_kernel_telemetry(span, timings)
+                self._record_kernel_telemetry(span, plan.timeline)
 
             pipeline = self._pipeline.cost(
                 max(1, int(batch * self.spec.pipeline_cost_scale)), self.framework
@@ -321,17 +294,17 @@ class TrainingSession:
             env_wall = env_core_seconds / self.spec.env_cpu_threads
 
             iteration_time = (
-                makespan + pipeline.exposed_seconds + host_exposed + env_wall
+                plan.makespan_s + pipeline.exposed_seconds + host_exposed + env_wall
             )
             cpu_core_seconds = (
-                dispatch_cpu
+                plan.dispatch_cpu_s
                 + pipeline.cpu_core_seconds
                 + host_core_seconds
                 + env_core_seconds
             )
             span.set_attributes(
                 kernels_issued=len(timings),
-                gpu_busy_s=busy,
+                gpu_busy_s=plan.gpu_busy_s,
                 iteration_time_s=iteration_time,
             )
         return IterationProfile(
@@ -340,8 +313,8 @@ class TrainingSession:
             device=self.gpu.name,
             batch_size=batch,
             iteration_time_s=iteration_time,
-            gpu_busy_time_s=busy,
-            gpu_flops=sum(t.kernel.flops for t in timings),
+            gpu_busy_time_s=plan.gpu_busy_s,
+            gpu_flops=plan.total_flops,
             effective_samples=graph.effective_samples,
             cpu_core_seconds=cpu_core_seconds,
             cpu_core_count=self.cpu.core_count,
@@ -351,7 +324,9 @@ class TrainingSession:
         )
 
     def max_batch_size(self, candidates=None) -> int:
-        """Largest sweep batch size that fits in GPU memory."""
+        """Largest sweep batch size that fits in GPU memory.  Each probe's
+        plan is cached, so a following ``run_iteration`` at the winning
+        batch compiles nothing."""
         from repro.hardware.memory import OutOfMemoryError
 
         sizes = candidates if candidates is not None else self.spec.batch_sizes

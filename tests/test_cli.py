@@ -70,6 +70,21 @@ class TestCommands:
 
         assert os.path.getsize(out_path) > 10_000
 
+    def test_plan_show(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "show", "resnet-50", "-f", "mxnet", "-b", "16"
+        )
+        assert code == 0
+        assert "compiled plan" in out
+        assert "ResNet-50" in out and "allocation trace" in out
+
+    def test_plan_show_on_other_gpu(self, capsys):
+        code, out = run_cli(
+            capsys, "plan", "show", "resnet-50", "-f", "mxnet", "-g", "titan xp"
+        )
+        assert code == 0
+        assert "TITAN Xp" in out
+
     def test_compare(self, capsys):
         code, out = run_cli(
             capsys, "compare", "resnet-50", "mxnet", "tensorflow", "-b", "32"

@@ -15,6 +15,7 @@ import pytest
 
 from repro.engine import PointSpec, SweepEngine, grid_for
 from repro.experiments.common import SWEEP_PANELS, run_sweeps
+import repro.plan.compiler as plan_compiler
 from repro.training.session import TrainingSession
 
 sys.path.insert(
@@ -92,6 +93,63 @@ class TestAtMostOneSessionPerMissingPoint:
         for _ in range(3):
             assert engine.run_grid([spec]) == first
         assert len(counted_iterations) == 1
+
+
+@pytest.fixture
+def counted_compiles(monkeypatch):
+    """Counts every graph compile (build + lower + time + replay).  The
+    session and the plan transforms both call through the module reference,
+    so patching the module attribute intercepts every compile."""
+    calls = []
+    original = plan_compiler.compile_graph
+
+    def counting(graph, framework, gpu, roofline=None):
+        calls.append((graph.model_name, framework.key, graph.batch_size))
+        return original(graph, framework, gpu, roofline=roofline)
+
+    monkeypatch.setattr(plan_compiler, "compile_graph", counting)
+    return calls
+
+
+class TestOneCompilePerPoint:
+    """The plan cache's core promise: a warm session never re-lowers a
+    point, no matter which consumer asks next."""
+
+    def test_session_consumers_share_one_compile_per_batch(self, counted_compiles):
+        from repro.profiling import timeline_for
+
+        session = TrainingSession("resnet-50", "mxnet")
+        best = session.max_batch_size()
+        probes = len(counted_compiles)
+        assert probes > 0
+        assert len(set(counted_compiles)) == probes, "one compile per probed batch"
+
+        session.run_iteration(best)
+        session.profile_memory(best)
+        timeline_for(session, best)
+        session.run_iteration(best)
+        assert len(counted_compiles) == probes, (
+            "warm consumers must add zero compiles"
+        )
+        assert session.plan_cache.stats.compile_count == probes
+
+    def test_suite_sweep_compiles_each_point_exactly_once(self, counted_compiles):
+        from repro.core.suite import standard_suite
+
+        suite = standard_suite()
+        points = suite.sweep("resnet-50", "mxnet")
+        assert len(counted_compiles) == len(points)
+        assert len(set(counted_compiles)) == len(counted_compiles)
+
+    def test_optimization_whatifs_reuse_the_session_plan(self, counted_compiles):
+        from repro.optimizations.offload import FeatureMapOffload
+
+        session = TrainingSession("resnet-50", "mxnet")
+        offload = FeatureMapOffload(session)
+        offload.plan(16, 0.5)
+        assert len(counted_compiles) == 1
+        offload.plan(16, 0.8)  # same batch: cached plan, no recompile
+        assert len(counted_compiles) == 1
 
 
 class TestInstrumentationLintCoversEngine:

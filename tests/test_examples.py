@@ -24,6 +24,7 @@ _EXAMPLES = (
     ("optimization_advisor.py", "fused-RNN rewrite"),
     ("hardware_history.py", "memory wall"),
     ("scaling_study.py", "time-to-accuracy"),
+    ("plan_inspect.py", "compiled plan"),
 )
 
 

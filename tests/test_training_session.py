@@ -4,7 +4,44 @@ import pytest
 
 from repro.hardware.devices import TITAN_XP
 from repro.hardware.memory import AllocationTag, OutOfMemoryError
-from repro.training.session import TrainingSession
+from repro.training.session import IterationProfile, TrainingSession
+
+
+def _synthetic_profile(gpu_flops, busy_s, peak_flops):
+    return IterationProfile(
+        model="m",
+        framework="f",
+        device="d",
+        batch_size=1,
+        iteration_time_s=1.0,
+        gpu_busy_time_s=busy_s,
+        gpu_flops=gpu_flops,
+        effective_samples=1.0,
+        cpu_core_seconds=0.0,
+        cpu_core_count=1,
+        peak_fp32_flops=peak_flops,
+    )
+
+
+class TestFP32UtilizationClamp:
+    """Eq. 2 is a fraction of peak: it must never report > 1, even when
+    rounding in the roofline model nudges achieved FLOP/s past peak."""
+
+    def test_exact_boundary_is_one(self):
+        profile = _synthetic_profile(gpu_flops=2.0e12, busy_s=0.5, peak_flops=4.0e12)
+        assert profile.fp32_utilization == 1.0
+
+    def test_above_peak_clamps_to_one(self):
+        profile = _synthetic_profile(gpu_flops=3.0e12, busy_s=0.5, peak_flops=4.0e12)
+        assert profile.fp32_utilization == 1.0
+
+    def test_below_peak_is_untouched(self):
+        profile = _synthetic_profile(gpu_flops=1.0e12, busy_s=0.5, peak_flops=4.0e12)
+        assert profile.fp32_utilization == 0.5
+
+    def test_zero_busy_time_is_zero(self):
+        profile = _synthetic_profile(gpu_flops=1.0e12, busy_s=0.0, peak_flops=4.0e12)
+        assert profile.fp32_utilization == 0.0
 
 
 class TestConstruction:

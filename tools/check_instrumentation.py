@@ -20,8 +20,11 @@ import sys
 #: name) -> every listed function body must contain a trace_span(...) call.
 REQUIRED = [
     ("repro/training/session.py", "TrainingSession", "run_iteration"),
-    ("repro/training/session.py", "TrainingSession", "simulate_graph"),
+    ("repro/training/session.py", "TrainingSession", "execute_plan"),
     ("repro/training/session.py", "TrainingSession", "profile_memory"),
+    ("repro/plan/compiler.py", None, "compile_graph"),
+    ("repro/plan/cache.py", "PlanCache", "get"),
+    ("repro/plan/transform.py", "PlanTransform", "apply"),
     ("repro/core/analysis.py", "AnalysisPipeline", "run"),
     ("repro/distributed/allreduce.py", "RingAllReduceExchange", "cost"),
     ("repro/distributed/parameter_server.py", "ParameterServerExchange", "cost"),
