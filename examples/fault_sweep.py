@@ -1,0 +1,104 @@
+"""Fault injection end to end: break the cluster, watch it recover.
+
+``tbd faults run|show|demo`` and ``tbd sweep --faults`` drive the same
+machinery from the shell; this example walks it programmatically:
+
+1. run the clean 4M1G data-parallel baseline;
+2. replay it under a seeded ``FaultPlan`` — a straggler window, a
+   transient allreduce timeout, and a machine crash — and print the
+   recovery event log (backoff, bucket rebalance, checkpoint restart,
+   elastic shrink 4 -> 3 machines);
+3. trace the faulted run and show every fault/recovery span;
+4. sweep a faulted scenario through the cached engine twice and prove
+   the warm pass computes nothing and exports byte-identical JSONL.
+"""
+
+import os
+
+from repro.engine import PointSpec, SweepEngine, write_grid_jsonl
+from repro.faults import (
+    AllReduceTimeout,
+    FaultPlan,
+    FaultTolerantTrainer,
+    StragglerFault,
+    WorkerCrash,
+)
+from repro.hardware.cluster import parse_configuration
+from repro.observability import tracing
+
+SCENARIO = "cluster=2M1G:infiniband; steps=25; straggler=0x1.5@5:15; crash=1@18"
+CACHE_DIR = os.path.join("artifacts", "fault-cache")
+
+
+def span_names(spans, out):
+    """Collect the full span-name set from a tracer's forest."""
+    for span in spans:
+        out.add(span.name)
+        span_names(span.children, out)
+    return out
+
+
+def main() -> None:
+    cluster = parse_configuration("4M1G", fabric="infiniband")
+    plan = FaultPlan(
+        events=(
+            StragglerFault(worker=1, factor=1.5, start_step=10, end_step=25),
+            AllReduceTimeout(step=20, failures=2, timeout_s=0.5),
+            WorkerCrash(step=30),
+        ),
+        seed=7,
+    )
+
+    print("== fault injection on the simulated cluster ==")
+    print(f"cluster: {cluster.name}")
+    print(plan.describe())
+
+    print("\n-- clean baseline vs faulted run (50 steps) --")
+    clean = FaultTolerantTrainer("resnet-50", "mxnet", cluster, 16).run(steps=50)
+    with tracing() as tracer:
+        faulted = FaultTolerantTrainer(
+            "resnet-50", "mxnet", cluster, 16, plan=plan
+        ).run(steps=50)
+    print(f"  clean:   {clean.wall_clock_s:8.2f}s  {clean.throughput:8.1f} samples/s")
+    print(
+        f"  faulted: {faulted.wall_clock_s:8.2f}s  {faulted.throughput:8.1f} samples/s"
+        f"  (x{faulted.slowdown:.2f} slower, lost {faulted.lost_s:.2f}s)"
+    )
+    print(f"  machines: {faulted.initial_machines} -> {faulted.final_machines}")
+    print("\n-- recovery event log --")
+    print(faulted.event_log())
+    interesting = sorted(
+        name
+        for name in span_names(tracer.roots, set())
+        if name.startswith(("fault.", "recovery."))
+    )
+    print("\n-- fault/recovery spans in the trace --")
+    for name in interesting:
+        print(f"  {name}")
+
+    print("\n-- the faults dimension rides the cached sweep engine --")
+    grid = [PointSpec("resnet-50", "mxnet", batch, SCENARIO) for batch in (8, 16, 32)]
+    cold = SweepEngine(jobs=2, cache=CACHE_DIR)
+    cold_points = cold.run_grid(grid)
+    warm = SweepEngine(jobs=1, cache=CACHE_DIR)
+    warm_points = warm.run_grid(grid)
+    for spec, point in zip(grid, cold_points):
+        print(f"  b/gpu {spec.batch_size:3d}: {point.metrics.throughput:8.1f} samples/s")
+    print(f"  cold engine: {cold.stats}")
+    print(f"  warm engine: {warm.stats}")
+
+    cold_path = os.path.join("artifacts", "fault_sweep_cold.jsonl")
+    warm_path = os.path.join("artifacts", "fault_sweep_warm.jsonl")
+    write_grid_jsonl(cold_path, grid, cold_points)
+    write_grid_jsonl(warm_path, grid, warm_points)
+    with open(cold_path, "rb") as handle:
+        cold_bytes = handle.read()
+    with open(warm_path, "rb") as handle:
+        warm_bytes = handle.read()
+    identical = cold_bytes == warm_bytes
+    print(f"  warm JSONL byte-identical to cold: {identical}")
+    print(f"  computed {warm.stats.points_computed}, hits {warm.stats.cache_hits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,9 +4,14 @@ Subcommands:
 
 - ``tbd run MODEL [-f FW] [-b BATCH] [-g GPU]`` — one configuration, all
   headline metrics.
-- ``tbd sweep MODEL [-f FW] [--jobs N] [--cache-dir DIR] [--no-cache]``
-  — the model's mini-batch sweep, fanned out across worker processes and
-  memoized in the content-addressed result cache.
+- ``tbd sweep MODEL [-f FW] [--jobs N] [--cache-dir DIR] [--no-cache]
+  [--faults SPEC]`` — the model's mini-batch sweep, fanned out across
+  worker processes and memoized in the content-addressed result cache;
+  ``--faults`` runs every point under a fault scenario (its own cache
+  dimension).
+- ``tbd faults run|show|demo`` — fault-injection scenarios: run one
+  model through a scenario, describe a parsed spec, or the elastic
+  recovery demo (crash mid-training, finish anyway).
 - ``tbd cache stats|clear`` — inspect or empty the sweep result cache.
 - ``tbd analyze MODEL [-f FW] [-b BATCH]`` — the full Fig. 3 pipeline
   report, plus the optimization advisor's recommendations.
@@ -35,7 +40,11 @@ from repro.core.observations import verify_all
 from repro.core.recommendations import advise
 from repro.core.suite import standard_suite, TBDSuite
 from repro.data.registry import dataset_catalog
-from repro.engine.cli import add_engine_arguments, register_cache_command
+from repro.engine.cli import (
+    add_engine_arguments,
+    add_faults_argument,
+    register_cache_command,
+)
 from repro.frameworks.registry import framework_catalog
 from repro.hardware.devices import get_gpu
 from repro.models.registry import extension_catalog, model_catalog
@@ -58,7 +67,11 @@ def _cmd_sweep(args) -> int:
 
     suite = _suite(args)
     engine = engine_from_args(args, gpu=suite.gpu)
-    for point in suite.sweep(args.model, args.framework, engine=engine):
+    if args.faults:
+        points = engine.sweep(args.model, args.framework, faults=args.faults)
+    else:
+        points = suite.sweep(args.model, args.framework, engine=engine)
+    for point in points:
         if point.oom:
             print(f"b={point.batch_size:<6d} OOM")
         else:
@@ -264,6 +277,123 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import (
+        FaultSpecError,
+        FaultTolerantTrainer,
+        UnrecoverableFaultError,
+        parse_fault_spec,
+    )
+
+    if args.faults_command == "show":
+        try:
+            scenario = parse_fault_spec(args.spec)
+        except FaultSpecError as exc:
+            print(f"bad fault spec: {exc}")
+            return 2
+        print(scenario.describe())
+        return 0
+
+    if args.faults_command == "demo":
+        return _faults_demo(args)
+
+    # run
+    try:
+        scenario = parse_fault_spec(args.spec)
+    except FaultSpecError as exc:
+        print(f"bad fault spec: {exc}")
+        return 2
+    trainer = FaultTolerantTrainer(
+        args.model,
+        args.framework,
+        scenario.cluster,
+        args.batch or 16,
+        plan=scenario.plan,
+    )
+    try:
+        result = trainer.run(steps=scenario.steps)
+    except UnrecoverableFaultError as exc:
+        print(f"UNRECOVERABLE ({exc.kind} at step {exc.step}): {exc}")
+        return 1
+    print(scenario.describe())
+    print(
+        f"{result.model} on {result.framework}, {result.configuration}, "
+        f"b={result.per_gpu_batch}"
+    )
+    print(
+        f"  {result.steps_completed:g} step(s) in {result.wall_clock_s:.2f}s "
+        f"({result.lost_s:.2f}s lost to faults)"
+    )
+    print(
+        f"  throughput {result.throughput:.1f} vs fault-free "
+        f"{result.baseline_throughput:.1f} samples/s "
+        f"(slowdown x{result.slowdown:.3f})"
+    )
+    if result.shrank:
+        print(
+            f"  elastic shrink: {result.initial_machines} -> "
+            f"{result.final_machines} machine(s)"
+        )
+    print(result.event_log())
+    return 0
+
+
+def _faults_demo(args) -> int:
+    """Fig.-10-style elastic-recovery demo: lose a machine mid-training
+    and still reach the accuracy target, just later."""
+    from repro.distributed.time_to_accuracy import elastic_time_to_accuracy
+    from repro.faults import (
+        AllReduceTimeout,
+        FaultPlan,
+        StragglerFault,
+        WorkerCrash,
+    )
+    from repro.hardware.cluster import parse_configuration
+    from repro.observability.tracer import tracing
+
+    cluster = parse_configuration("4M1G", fabric="infiniband")
+    plan = FaultPlan(
+        events=(
+            StragglerFault(worker=1, factor=1.4, start_step=10, end_step=25),
+            AllReduceTimeout(step=20, failures=2, timeout_s=0.5),
+            WorkerCrash(step=30, machines=1),
+        ),
+        seed=args.seed,
+    )
+    with tracing() as tracer:
+        point = elastic_time_to_accuracy(
+            args.model, args.framework, cluster, args.batch or 16, plan=plan
+        )
+    result = point.result
+    print(f"elastic-recovery demo: {args.model} on {args.framework}, {cluster.name}")
+    print(plan.describe())
+    print(
+        f"  time-to-accuracy {point.time_to_accuracy_s:.1f}s vs fault-free "
+        f"{point.baseline_time_s:.1f}s (x{point.overhead:.3f})"
+    )
+    print(
+        f"  machines {result.initial_machines} -> {result.final_machines}, "
+        f"{result.samples:.0f} samples over {result.steps_completed:.1f} step(s)"
+    )
+    print(result.event_log())
+    span_names = set()
+
+    def collect(record):
+        span_names.add(record.name)
+        for child in record.children:
+            collect(child)
+
+    for root in tracer.roots:
+        collect(root)
+    interesting = sorted(
+        name
+        for name in span_names
+        if name.startswith("fault.") or name.startswith("recovery.")
+    )
+    print(f"  trace spans: {', '.join(interesting)}")
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     for dataset in dataset_catalog().values():
         samples = f"{dataset.num_samples:,}" if dataset.num_samples else "N/A"
@@ -293,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-f", "--framework", default="tensorflow")
     sweep.add_argument("-g", "--gpu", default=None)
     add_engine_arguments(sweep)
+    add_faults_argument(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     register_cache_command(sub)
@@ -356,6 +487,28 @@ def build_parser() -> argparse.ArgumentParser:
     plan_show = plan_sub.add_parser("show", help="dump one configuration's plan")
     add_config(plan_show)
     plan.set_defaults(func=_cmd_plan)
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection scenarios and elastic recovery"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    faults_run = faults_sub.add_parser(
+        "run", help="run one model through a fault scenario"
+    )
+    faults_run.add_argument("spec", help="fault scenario, e.g. 'crash=1@30; steps=60'")
+    faults_run.add_argument("model", nargs="?", default="resnet-50")
+    faults_run.add_argument("-f", "--framework", default="mxnet")
+    faults_run.add_argument("-b", "--batch", type=int, default=None)
+    faults_show = faults_sub.add_parser("show", help="parse and describe a scenario")
+    faults_show.add_argument("spec")
+    faults_demo = faults_sub.add_parser(
+        "demo", help="elastic-recovery demo: crash mid-training, finish anyway"
+    )
+    faults_demo.add_argument("model", nargs="?", default="resnet-50")
+    faults_demo.add_argument("-f", "--framework", default="mxnet")
+    faults_demo.add_argument("-b", "--batch", type=int, default=None)
+    faults_demo.add_argument("--seed", type=int, default=0)
+    faults.set_defaults(func=_cmd_faults)
 
     compare = sub.add_parser("compare", help="A/B framework comparison")
     compare.add_argument("model")

@@ -123,6 +123,78 @@ def scaling_point(
     )
 
 
+@dataclass(frozen=True)
+class ElasticPoint:
+    """Time-to-accuracy for a run that survives a fault plan.
+
+    ``result`` is the underlying
+    :class:`~repro.faults.trainer.FaultTrainingResult`, kept so demos and
+    tests can inspect the event log behind the headline number.
+    """
+
+    configuration: str
+    per_gpu_batch: int
+    global_batch: int
+    samples_needed: float
+    time_to_accuracy_s: float
+    baseline_time_s: float
+    final_machines: int
+    result: object
+
+    @property
+    def overhead(self) -> float:
+        """Wall-clock inflation the faults cost (>= 1 in practice)."""
+        if self.baseline_time_s <= 0:
+            return float("inf")
+        return self.time_to_accuracy_s / self.baseline_time_s
+
+
+def elastic_time_to_accuracy(
+    model_key: str,
+    framework: str,
+    cluster: ClusterSpec,
+    per_gpu_batch: int,
+    plan=None,
+    recovery=None,
+    base_batch: int | None = None,
+    target_fraction: float = 0.95,
+) -> ElasticPoint:
+    """Time-to-accuracy for a run threaded through a fault plan.
+
+    The statistical side (samples needed) is priced at the *initial*
+    global batch — an elastic shrink changes how fast samples are
+    consumed, not how many the optimizer needs — and the hardware side
+    comes from
+    :meth:`~repro.faults.trainer.FaultTolerantTrainer.run_until_samples`,
+    so crashes, stragglers and outages lengthen (but never derail) the
+    run.  With ``plan=None`` the number collapses to
+    ``samples / baseline throughput``, exactly :func:`scaling_point`.
+
+    Raises:
+        UnrecoverableFaultError: propagated from the trainer when the
+            recovery policies cannot survive the plan.
+    """
+    from repro.faults.trainer import FaultTolerantTrainer
+
+    trainer = FaultTolerantTrainer(
+        model_key, framework, cluster, per_gpu_batch, plan=plan, recovery=recovery
+    )
+    base = base_batch if base_batch is not None else per_gpu_batch
+    global_batch = per_gpu_batch * trainer.baseline.worker_count
+    samples = adjusted_samples_needed(model_key, global_batch, base, target_fraction)
+    result = trainer.run_until_samples(samples)
+    return ElasticPoint(
+        configuration=cluster.name,
+        per_gpu_batch=per_gpu_batch,
+        global_batch=global_batch,
+        samples_needed=samples,
+        time_to_accuracy_s=result.wall_clock_s,
+        baseline_time_s=samples / trainer.baseline.throughput,
+        final_machines=result.final_machines,
+        result=result,
+    )
+
+
 def scaling_study(
     model_key: str = "resnet-50",
     framework: str = "mxnet",

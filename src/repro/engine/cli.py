@@ -33,6 +33,20 @@ def add_engine_arguments(parser) -> None:
     )
 
 
+def add_faults_argument(parser) -> None:
+    """Attach the ``--faults`` scenario option to a sweep-shaped parser."""
+    parser.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help=(
+            "fault scenario to run every point under, e.g. "
+            "'cluster=2M1G:1gbe; straggler=0x1.5@10:40; crash=1@30' "
+            "(default: none; cached as its own grid dimension)"
+        ),
+    )
+
+
 def engine_from_args(args, gpu: GPUSpec | None = None) -> SweepEngine:
     """Build the :class:`SweepEngine` an engine-aware command asked for."""
     cache = None

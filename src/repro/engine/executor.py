@@ -51,11 +51,19 @@ class EngineWorkerWarning(UserWarning):
 
 @dataclass(frozen=True)
 class PointSpec:
-    """Grid coordinates of one sweep point."""
+    """Grid coordinates of one sweep point.
+
+    ``faults`` is an optional fault-scenario string
+    (:func:`repro.faults.spec.parse_fault_spec` syntax); the empty string
+    — the default — is the plain fault-free point, and its cache keys,
+    payloads and exported records are byte-identical to what they were
+    before the dimension existed.
+    """
 
     model: str
     framework: str
     batch_size: int
+    faults: str = ""
 
 
 @dataclass
@@ -103,6 +111,8 @@ def _compute_payload(
     ``sessions`` lets a chunk reuse one :class:`TrainingSession` per
     (model, framework) across its batch sizes.
     """
+    if spec.faults:
+        return _compute_faulted_payload(spec)
     key = (spec.model, spec.framework)
     session = sessions.get(key) if sessions is not None else None
     if session is None:
@@ -121,6 +131,40 @@ def _compute_payload(
             metrics=IterationMetrics.from_profile(
                 profile, throughput_unit=session.spec.throughput_unit
             ),
+        )
+    )
+
+
+def _compute_faulted_payload(spec: PointSpec) -> dict:
+    """Simulate one grid point under its fault scenario.
+
+    The scenario string supplies the cluster and run length; the run goes
+    through :class:`~repro.faults.trainer.FaultTolerantTrainer` and the
+    realized (degraded) averages become the point's metrics.  A scenario
+    the recovery policies cannot survive raises
+    :class:`~repro.faults.recovery.UnrecoverableFaultError` — a faulted
+    grid is allowed to fail loudly, never to hang or cache a wrong
+    number.
+    """
+    from repro.faults.spec import parse_fault_spec
+    from repro.faults.trainer import FaultTolerantTrainer
+
+    scenario = parse_fault_spec(spec.faults)
+    try:
+        trainer = FaultTolerantTrainer(
+            spec.model,
+            spec.framework,
+            scenario.cluster,
+            spec.batch_size,
+            plan=scenario.plan,
+        )
+    except OutOfMemoryError:
+        return point_to_payload(SweepPoint(batch_size=spec.batch_size, oom=True))
+    result = trainer.run(steps=scenario.steps)
+    return point_to_payload(
+        SweepPoint(
+            batch_size=spec.batch_size,
+            metrics=trainer.iteration_metrics(result),
         )
     )
 
@@ -197,6 +241,12 @@ class SweepEngine:
                         f"the paper has no {spec.framework} implementation of "
                         f"{model.display_name} (available: {model.frameworks})"
                     )
+                if spec.faults:
+                    # Fail fast on a malformed scenario, before any point
+                    # computes or any cache entry is touched.
+                    from repro.faults.spec import parse_fault_spec
+
+                    parse_fault_spec(spec.faults)
             results: list = []
             missing: list = []
             keys: list = [None] * len(specs)
@@ -209,6 +259,7 @@ class SweepEngine:
                         spec.batch_size,
                         gpu=self.gpu,
                         cpu=self.cpu,
+                        faults=spec.faults,
                     )
                     payload = self.cache.load(keys[index])
                     if payload is not None:
@@ -232,17 +283,16 @@ class SweepEngine:
             for index, payload in computed:
                 if self.cache is not None:
                     spec = specs[index]
-                    self.cache.store(
-                        keys[index],
-                        payload,
-                        config={
-                            "model": spec.model,
-                            "framework": spec.framework,
-                            "batch_size": spec.batch_size,
-                            "gpu": self.gpu.name,
-                            "cpu": self.cpu.name,
-                        },
-                    )
+                    config = {
+                        "model": spec.model,
+                        "framework": spec.framework,
+                        "batch_size": spec.batch_size,
+                        "gpu": self.gpu.name,
+                        "cpu": self.cpu.name,
+                    }
+                    if spec.faults:
+                        config["faults"] = spec.faults
+                    self.cache.store(keys[index], payload, config=config)
             results.extend(computed)
             grid_span.set_attributes(
                 cache_hits=len(specs) - len(missing), computed=len(missing)
@@ -350,12 +400,18 @@ class SweepEngine:
     # suite-shaped conveniences
     # ------------------------------------------------------------------
 
-    def sweep(self, model: str, framework: str, batch_sizes=None) -> list:
-        """Engine-backed equivalent of :meth:`TBDSuite.sweep`."""
+    def sweep(self, model: str, framework: str, batch_sizes=None, faults: str = "") -> list:
+        """Engine-backed equivalent of :meth:`TBDSuite.sweep`.
+
+        ``faults`` runs every point of the sweep under one fault
+        scenario (cached as its own grid dimension); the default empty
+        string is the plain fault-free sweep, byte-identical to before
+        the dimension existed.
+        """
         spec = get_model(model)
         sizes = batch_sizes if batch_sizes is not None else spec.batch_sizes
         return self.run_grid(
-            [PointSpec(spec.key, framework, int(batch)) for batch in sizes]
+            [PointSpec(spec.key, framework, int(batch), faults) for batch in sizes]
         )
 
     def run(self, model: str, framework: str, batch_size: int | None = None):

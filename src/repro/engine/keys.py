@@ -36,7 +36,9 @@ from repro.models.registry import ModelSpec, get_model
 from repro.training.hyperparams import MODEL_DEFAULTS, Hyperparameters
 
 #: Schema version of the key document; bump to invalidate every entry.
-KEY_SCHEMA = 1
+#: v2: the document gained a ``faults`` dimension (empty string when the
+#: point is fault-free).
+KEY_SCHEMA = 2
 
 #: Timing-model modules every sweep point depends on, relative to the
 #: ``repro`` package root.  Directories mean "every .py file inside".
@@ -50,6 +52,17 @@ CORE_CODE = (
     "graph",
     "frameworks",
     "data",
+)
+
+#: Extra modules a *faulted* point's result additionally depends on:
+#: the fault/recovery simulator and the distributed cost models it
+#: perturbs.  Fault-free points deliberately exclude these, so editing
+#: the fault layer never invalidates the plain paper grid.
+FAULT_CODE = (
+    "faults",
+    "distributed",
+    "hardware/cluster.py",
+    "hardware/interconnect.py",
 )
 
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -159,19 +172,24 @@ def _module_relpath(module_name: str) -> str | None:
     return relative if os.path.isfile(os.path.join(_PACKAGE_ROOT, relative)) else None
 
 
-def code_fingerprint(model_module: str | None = None) -> str:
+def code_fingerprint(model_module: str | None = None, with_faults: bool = False) -> str:
     """Fingerprint of the timing-model source a point's result depends on.
 
     ``model_module`` is the model builder's module name; only that model's
-    entries move when it changes.  The composite digest hashes the sorted
-    ``(relative path, file sha256)`` list so renames count as changes.
+    entries move when it changes.  ``with_faults`` widens the dependency
+    set by :data:`FAULT_CODE` for points running under a fault scenario.
+    The composite digest hashes the sorted ``(relative path, file
+    sha256)`` list so renames count as changes.
     """
-    cached = _CODE_FINGERPRINTS.get(model_module)
+    cache_key = (model_module, with_faults)
+    cached = _CODE_FINGERPRINTS.get(cache_key)
     if cached is not None:
         return cached
     entries = []
     seen = set()
     sources = list(CORE_CODE)
+    if with_faults:
+        sources.extend(FAULT_CODE)
     if model_module is not None:
         relative = _module_relpath(model_module)
         if relative is not None:
@@ -185,7 +203,7 @@ def code_fingerprint(model_module: str | None = None) -> str:
                 [relative, _file_digest(os.path.join(_PACKAGE_ROOT, relative))]
             )
     fingerprint = digest(sorted(entries))
-    _CODE_FINGERPRINTS[model_module] = fingerprint
+    _CODE_FINGERPRINTS[cache_key] = fingerprint
     return fingerprint
 
 
@@ -209,13 +227,17 @@ def key_document(
     cpu: CPUSpec = XEON_E5_2680,
     hyperparams: Hyperparameters | None = None,
     code: str | None = None,
+    faults: str = "",
 ) -> dict:
     """The full canonical document a point key hashes.
 
     ``model``/``framework`` accept registry keys or resolved spec objects;
     ``hyperparams`` defaults to the model's registered reference set;
     ``code`` defaults to :func:`code_fingerprint` of the timing model plus
-    the model's builder module.
+    the model's builder module (widened by :data:`FAULT_CODE` when the
+    point carries a ``faults`` scenario); ``faults`` is the raw scenario
+    string — the scenario is hashed as text because the text *is* the
+    deterministic input (same text + same code = same result).
     """
     spec = get_model(model) if isinstance(model, str) else model
     personality = (
@@ -224,7 +246,7 @@ def key_document(
     if hyperparams is None:
         hyperparams = MODEL_DEFAULTS.get(spec.key)
     if code is None:
-        code = code_fingerprint(spec.build.__module__)
+        code = code_fingerprint(spec.build.__module__, with_faults=bool(faults))
     return {
         "schema": KEY_SCHEMA,
         "model": fingerprint_model(spec),
@@ -234,6 +256,7 @@ def key_document(
         "batch_size": int(batch_size),
         "hyperparameters": fingerprint_hyperparameters(hyperparams),
         "code": code,
+        "faults": faults,
     }
 
 
@@ -245,6 +268,7 @@ def point_key(
     cpu: CPUSpec = XEON_E5_2680,
     hyperparams: Hyperparameters | None = None,
     code: str | None = None,
+    faults: str = "",
 ) -> str:
     """Content address of one sweep point: SHA-256 over every input the
     simulated result depends on."""
@@ -257,5 +281,6 @@ def point_key(
             cpu=cpu,
             hyperparams=hyperparams,
             code=code,
+            faults=faults,
         )
     )

@@ -77,15 +77,23 @@ def merge_ordered(total: int, indexed_payloads) -> list:
 
 
 def grid_record(spec, point: SweepPoint) -> dict:
-    """One exportable record: the grid coordinates plus the point payload."""
+    """One exportable record: the grid coordinates plus the point payload.
+
+    The ``faults`` coordinate appears only when the spec carries one, so
+    fault-free exports stay byte-identical to the pre-fault format.
+    """
     payload = point_to_payload(point)
-    return {
+    record = {
         "model": spec.model,
         "framework": spec.framework,
         "batch_size": point.batch_size,
         "oom": payload["oom"],
         "metrics": payload["metrics"],
     }
+    faults = getattr(spec, "faults", "")
+    if faults:
+        record["faults"] = faults
+    return record
 
 
 def write_grid_jsonl(path: str, specs, points) -> int:

@@ -69,6 +69,49 @@ class ClusterSpec:
             label += f" ({self.inter_link.name})"
         return label
 
+    def shrink(self, machines: int = 1) -> "ClusterSpec":
+        """The elastic-recovery cluster after losing ``machines`` nodes.
+
+        Raises:
+            ValueError: if no machines would remain — the caller decides
+                whether that is an :class:`~repro.faults.UnrecoverableFaultError`.
+        """
+        if machines < 0:
+            raise ValueError("cannot shrink by a negative machine count")
+        remaining = self.machine_count - machines
+        if remaining < 1:
+            raise ValueError(
+                f"shrinking {self.machine_count} machine(s) by {machines} "
+                "leaves an empty cluster"
+            )
+        if machines == 0:
+            return self
+        return ClusterSpec(
+            machine=self.machine,
+            machine_count=remaining,
+            inter_link=self.inter_link,
+        )
+
+    def with_degraded_link(
+        self,
+        bandwidth_factor: float = 1.0,
+        packet_loss: float = 0.0,
+        extra_latency_s: float = 0.0,
+    ) -> "ClusterSpec":
+        """The cluster seen through a degraded inter-machine fabric (the
+        identity degradation returns ``self`` so a zero-magnitude link
+        fault stays byte-identical to none)."""
+        link = self.inter_link.degraded(
+            bandwidth_factor=bandwidth_factor,
+            packet_loss=packet_loss,
+            extra_latency_s=extra_latency_s,
+        )
+        if link is self.inter_link:
+            return self
+        return ClusterSpec(
+            machine=self.machine, machine_count=self.machine_count, inter_link=link
+        )
+
 
 _CONFIG_RE = re.compile(r"^(\d+)M(\d+)G$", re.IGNORECASE)
 

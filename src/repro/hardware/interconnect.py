@@ -40,6 +40,36 @@ class Interconnect:
             return 0.0
         return self.latency_s + num_bytes / self.effective_bandwidth_bytes
 
+    def degraded(
+        self,
+        bandwidth_factor: float = 1.0,
+        packet_loss: float = 0.0,
+        extra_latency_s: float = 0.0,
+    ) -> "Interconnect":
+        """A derived link under fault conditions: signalling rate scaled by
+        ``bandwidth_factor``, efficiency cut by retransmissions at
+        ``packet_loss`` (must be < 1: a fully dead link has no finite
+        transfer time and is modelled as an outage by ``repro.faults``),
+        and ``extra_latency_s`` of added per-transfer delay.
+
+        The identity degradation returns ``self`` unchanged, so a
+        zero-magnitude fault is byte-identical to no fault at all.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth factor must be in (0, 1]")
+        if not 0.0 <= packet_loss < 1.0:
+            raise ValueError("packet loss must be in [0, 1); 1.0 is an outage")
+        if extra_latency_s < 0:
+            raise ValueError("extra latency cannot be negative")
+        if bandwidth_factor == 1.0 and packet_loss == 0.0 and extra_latency_s == 0.0:
+            return self
+        return Interconnect(
+            name=f"{self.name} [degraded]",
+            bandwidth_gbs=self.bandwidth_gbs * bandwidth_factor,
+            latency_s=self.latency_s + extra_latency_s,
+            efficiency=self.efficiency * (1.0 - packet_loss),
+        )
+
 
 #: PCIe 3.0 x16: 16 GB/s nominal, ~12.8 GB/s achievable; intra-machine
 #: GPU-to-GPU traffic goes through this (paper: "PCIe 3.0 gives enough

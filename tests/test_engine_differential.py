@@ -186,14 +186,17 @@ class TestExportsByteIdentical:
 
 
 class TestEngineSuiteParity:
-    def test_suite_sweep_with_engine_delegates(self, suite, cache_root):
-        engine = suite.engine(jobs=2, cache=cache_root)
+    # These tests use per-test cache dirs (not the module-scoped, already
+    # warm ``cache_root``) so each one proves parity from a cold cache and
+    # stays independent of collection order.
+    def test_suite_sweep_with_engine_delegates(self, suite, tmp_path):
+        engine = suite.engine(jobs=2, cache=str(tmp_path / "cache"))
         via_suite = suite.sweep("resnet-50", "tensorflow", engine=engine)
         plain = suite.sweep("resnet-50", "tensorflow")
         assert via_suite == plain
 
-    def test_suite_run_with_engine_matches_plain_run(self, suite, cache_root):
-        engine = suite.engine(cache=cache_root)
+    def test_suite_run_with_engine_matches_plain_run(self, suite, tmp_path):
+        engine = suite.engine(cache=str(tmp_path / "cache"))
         assert suite.run("resnet-50", "mxnet", 16, engine=engine) == suite.run(
             "resnet-50", "mxnet", 16
         )

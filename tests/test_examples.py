@@ -14,6 +14,13 @@ import pytest
 
 _EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
 
+
+@pytest.fixture(autouse=True)
+def _run_in_tmpdir(tmp_path, monkeypatch):
+    """Every example executes from a throwaway cwd, so artifact-writing
+    scripts can never dirty the repo and tests stay order-independent."""
+    monkeypatch.chdir(tmp_path)
+
 #: (script, substring that must appear in its stdout)
 _EXAMPLES = (
     ("quickstart.py", "headline metrics"),
@@ -25,6 +32,7 @@ _EXAMPLES = (
     ("hardware_history.py", "memory wall"),
     ("scaling_study.py", "time-to-accuracy"),
     ("plan_inspect.py", "compiled plan"),
+    ("fault_sweep.py", "fault injection on the simulated cluster"),
 )
 
 
@@ -57,8 +65,7 @@ def test_full_evaluation_rejects_unknown(capsys):
         _run_example("full_evaluation.py", capsys, argv=["fig99"])
 
 
-def test_trace_run_archives_and_diffs(tmp_path, capsys, monkeypatch):
-    monkeypatch.chdir(tmp_path)
+def test_trace_run_archives_and_diffs(tmp_path, capsys):
     output = _run_example("trace_run.py", capsys)
     assert "spans.jsonl byte-identical across runs: True" in output
     assert "all headline metrics within tolerance" in output
@@ -66,8 +73,7 @@ def test_trace_run_archives_and_diffs(tmp_path, capsys, monkeypatch):
     assert (runs_dir / "resnet-50-mxnet-b16-002" / "trace.json").exists()
 
 
-def test_parallel_sweep_proves_engine_equality(tmp_path, capsys, monkeypatch):
-    monkeypatch.chdir(tmp_path)
+def test_parallel_sweep_proves_engine_equality(tmp_path, capsys):
     output = _run_example("parallel_sweep.py", capsys)
     assert "parallel sweep engine" in output
     assert "parallel == serial: True" in output
@@ -78,8 +84,7 @@ def test_parallel_sweep_proves_engine_equality(tmp_path, capsys, monkeypatch):
     assert (tmp_path / "artifacts" / "sweep-cache").is_dir()
 
 
-def test_export_traces_writes_artifacts(tmp_path, capsys, monkeypatch):
-    monkeypatch.chdir(tmp_path)
+def test_export_traces_writes_artifacts(tmp_path, capsys):
     output = _run_example("export_traces.py", capsys)
     assert "suite metrics" in output
     assert (tmp_path / "artifacts" / "resnet50_trace.json").exists()

@@ -29,9 +29,14 @@ REQUIRED = [
     ("repro/distributed/allreduce.py", "RingAllReduceExchange", "cost"),
     ("repro/distributed/parameter_server.py", "ParameterServerExchange", "cost"),
     ("repro/distributed/data_parallel.py", "DataParallelTrainer", "run_iteration"),
+    ("repro/distributed/data_parallel.py", "DataParallelTrainer", "run_step"),
     ("repro/data/pipeline.py", "DataPipelineModel", "cost"),
     ("repro/engine/executor.py", "SweepEngine", "run_grid"),
     ("repro/engine/executor.py", "SweepEngine", "_compute_inline"),
+    ("repro/faults/trainer.py", "FaultTolerantTrainer", "_simulate"),
+    ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_outage"),
+    ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_crash"),
+    ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_timeout"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
