@@ -13,6 +13,10 @@ Subcommands:
   model through a scenario, describe a parsed spec, or the elastic
   recovery demo (crash mid-training, finish anyway).
 - ``tbd cache stats|clear`` — inspect or empty the sweep result cache.
+- ``tbd conformance run|list|shrink`` — the conformance harness: check
+  the paper's physical invariants over the grid plus seeded fuzz cases,
+  list the registries, or shrink one failing spec to a minimal
+  counterexample.
 - ``tbd analyze MODEL [-f FW] [-b BATCH]`` — the full Fig. 3 pipeline
   report, plus the optimization advisor's recommendations.
 - ``tbd exhibit NAME [...]`` — regenerate tables/figures (``all`` = paper
@@ -35,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.conformance.cli import register_conformance_command
 from repro.core.analysis import AnalysisPipeline
 from repro.core.observations import verify_all
 from repro.core.recommendations import advise
@@ -427,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     register_cache_command(sub)
+    register_conformance_command(sub)
 
     analyze = sub.add_parser("analyze", help="full analysis pipeline + advice")
     add_config(analyze)

@@ -1,0 +1,43 @@
+"""Conformance harness: the paper's physics as executable invariants.
+
+The simulator's five metric families obey physical laws — kernel times sit
+on the roofline, memory breakdowns add up, multi-GPU scaling never beats
+linear.  This package turns those laws into a declarative registry of
+checks (:mod:`~repro.conformance.invariants`), metamorphic relations
+between perturbed runs (:mod:`~repro.conformance.relations`), a seeded
+spec fuzzer with a greedy counterexample shrinker
+(:mod:`~repro.conformance.generator`), and a parallel runner that drives
+everything through the sweep engine and emits a machine-readable
+violation report (:mod:`~repro.conformance.runner`).
+"""
+
+from repro.conformance.generator import FuzzCase, generate_cases, shrink
+from repro.conformance.invariants import (
+    Invariant,
+    PointEvidence,
+    ScalingEvidence,
+    SweepEvidence,
+    Violation,
+    get_invariant,
+    invariant_registry,
+)
+from repro.conformance.relations import Relation, get_relation, relation_registry
+from repro.conformance.runner import ConformanceReport, ConformanceRunner
+
+__all__ = [
+    "ConformanceReport",
+    "ConformanceRunner",
+    "FuzzCase",
+    "Invariant",
+    "PointEvidence",
+    "Relation",
+    "ScalingEvidence",
+    "SweepEvidence",
+    "Violation",
+    "generate_cases",
+    "get_invariant",
+    "get_relation",
+    "invariant_registry",
+    "relation_registry",
+    "shrink",
+]

@@ -1,0 +1,546 @@
+"""The invariant registry: the paper's physics, stated declaratively.
+
+Every check is an :class:`Invariant` — a named predicate over one kind of
+*evidence* — registered in a module-level table so runners, the CLI and
+the mutant self-tests all see the same list:
+
+- ``point`` scope: deep checks over one configuration's
+  :class:`~repro.training.session.IterationProfile` and
+  :class:`~repro.plan.compiled.CompiledPlan` (roofline floors, utilization
+  ranges, FLOP conservation, memory additivity, transform contracts, the
+  weights/feature-map laws across batch sizes).
+- ``sweep`` scope: checks over one model's batch sweep as the engine
+  reports it (monotone iteration time, ladder-monotone throughput, the
+  OOM boundary).
+- ``scaling`` scope: checks over one distributed probe (≤-linear scaling,
+  the ring-allreduce bandwidth floor).
+
+A check returns a list of human-readable messages — empty means the law
+holds.  The runner wraps each message into a :class:`Violation` carrying
+the subject configuration, so every failure is addressable by the
+shrinker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import IterationMetrics
+from repro.hardware.memory import AllocationTag
+from repro.hardware.roofline import speed_of_light_time
+from repro.models.registry import get_model
+from repro.plan.transform import HalfPrecisionStorageTransform
+
+#: Relative tolerance for comparisons that may reassociate float sums.
+REL_TOL = 1e-9
+#: Absolute slack (bytes) for memory-accounting comparisons.
+BYTE_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant (or relation) failure on one subject configuration."""
+
+    check: str
+    subject: dict
+    message: str
+    shrunk: dict | None = None
+
+    def to_doc(self) -> dict:
+        doc = {
+            "check": self.check,
+            "subject": dict(sorted(self.subject.items())),
+            "message": self.message,
+        }
+        if self.shrunk is not None:
+            doc["shrunk"] = dict(sorted(self.shrunk.items()))
+        return doc
+
+
+@dataclass
+class PointEvidence:
+    """Deep evidence for one fault-free configuration: the profile, the
+    compiled plan, and (when the model sweeps) the plan at the model's
+    smallest batch for the cross-batch memory laws."""
+
+    model: str
+    framework: str
+    batch_size: int
+    gpu: object  # GPUSpec
+    profile: object  # IterationProfile
+    plan: object  # CompiledPlan
+    small_batch: int | None = None
+    small_plan: object = None
+    throughput_unit: str = "samples/s"
+
+
+@dataclass
+class SweepEvidence:
+    """One model/framework batch sweep as the engine reports it."""
+
+    model: str
+    framework: str
+    gpu_name: str
+    batch_sizes: list = field(default_factory=list)
+    points: list = field(default_factory=list)  # SweepPoint per batch
+    faults: str = ""
+
+
+@dataclass
+class ScalingEvidence:
+    """One distributed probe: a cluster run plus its allreduce cost."""
+
+    model: str
+    framework: str
+    batch_size: int
+    cluster: object  # ClusterSpec
+    profile: object  # DistributedProfile
+    allreduce_cost: object = None  # AllReduceCost | None
+    gradient_bytes: float = 0.0
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named physical law over one scope of evidence."""
+
+    name: str
+    scope: str  # "point" | "sweep" | "scaling"
+    description: str
+    check: object  # evidence -> list[str]
+
+
+_REGISTRY: dict = {}
+
+
+def _register(name: str, scope: str, description: str):
+    def deco(fn):
+        _REGISTRY[name] = Invariant(name, scope, description, fn)
+        return fn
+
+    return deco
+
+
+def invariant_registry(scope: str | None = None) -> list:
+    """All registered invariants (optionally one scope), in name order."""
+    items = [inv for inv in _REGISTRY.values() if scope is None or inv.scope == scope]
+    return sorted(items, key=lambda inv: inv.name)
+
+
+def get_invariant(name: str) -> Invariant:
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown invariant {name!r}; known: {known}")
+    return _REGISTRY[name]
+
+
+# ----------------------------------------------------------------------
+# point scope
+
+
+@_register(
+    "roofline-kernel-floor",
+    "point",
+    "every kernel's duration is bounded below by its speed-of-light "
+    "roofline time max(flops/peak, bytes/bandwidth)",
+)
+def _roofline_kernel_floor(ev: PointEvidence) -> list:
+    out = []
+    for timing in ev.plan.timings:
+        floor = speed_of_light_time(timing.kernel, ev.gpu)
+        if timing.duration_s < floor * (1.0 - REL_TOL):
+            out.append(
+                f"kernel {timing.kernel.name!r}: duration {timing.duration_s:.3e}s "
+                f"below speed-of-light floor {floor:.3e}s"
+            )
+    return out
+
+
+@_register(
+    "utilization-in-range",
+    "point",
+    "gpu/fp32/cpu utilization of a profile all lie in [0, 1]",
+)
+def _utilization_in_range(ev: PointEvidence) -> list:
+    out = []
+    for label, value in (
+        ("gpu_utilization", ev.profile.gpu_utilization),
+        ("fp32_utilization", ev.profile.fp32_utilization),
+        ("cpu_utilization", ev.profile.cpu_utilization),
+        ("timeline gpu_utilization", ev.plan.timeline.gpu_utilization),
+    ):
+        if not 0.0 <= value <= 1.0:
+            out.append(f"{label} = {value} outside [0, 1]")
+    return out
+
+
+@_register(
+    "busy-within-iteration",
+    "point",
+    "GPU busy time never exceeds the iteration wall time, nor the plan's "
+    "busy time its makespan",
+)
+def _busy_within_iteration(ev: PointEvidence) -> list:
+    out = []
+    p = ev.profile
+    if not 0.0 <= p.gpu_busy_time_s <= p.iteration_time_s * (1.0 + REL_TOL):
+        out.append(
+            f"gpu_busy_time {p.gpu_busy_time_s:.6e}s outside "
+            f"[0, iteration_time {p.iteration_time_s:.6e}s]"
+        )
+    if ev.plan.gpu_busy_s > ev.plan.makespan_s * (1.0 + REL_TOL):
+        out.append(
+            f"plan busy {ev.plan.gpu_busy_s:.6e}s exceeds makespan "
+            f"{ev.plan.makespan_s:.6e}s"
+        )
+    return out
+
+
+@_register(
+    "kernel-time-additivity",
+    "point",
+    "plan GPU busy time equals the sum of its kernel durations, one "
+    "timeline event per kernel",
+)
+def _kernel_time_additivity(ev: PointEvidence) -> list:
+    out = []
+    total = sum(t.duration_s for t in ev.plan.timings)
+    if abs(ev.plan.gpu_busy_s - total) > REL_TOL * max(total, 1e-12):
+        out.append(
+            f"plan busy {ev.plan.gpu_busy_s:.9e}s != sum of kernel "
+            f"durations {total:.9e}s"
+        )
+    events = len(ev.plan.timeline.events)
+    if events != len(ev.plan.timings):
+        out.append(f"{events} timeline events for {len(ev.plan.timings)} kernels")
+    return out
+
+
+@_register(
+    "flop-conservation",
+    "point",
+    "the profile's FLOP count equals the plan total, which equals the sum "
+    "over kernels",
+)
+def _flop_conservation(ev: PointEvidence) -> list:
+    out = []
+    kernel_sum = sum(t.kernel.flops for t in ev.plan.timings)
+    for label, value in (
+        ("plan.total_flops", ev.plan.total_flops),
+        ("profile.gpu_flops", ev.profile.gpu_flops),
+    ):
+        if abs(value - kernel_sum) > REL_TOL * max(kernel_sum, 1.0):
+            out.append(f"{label} = {value:.6e} != kernel sum {kernel_sum:.6e}")
+    return out
+
+
+@_register(
+    "throughput-identity",
+    "point",
+    "throughput x iteration time reproduces the effective sample count, "
+    "and derived IterationMetrics mirror the profile",
+)
+def _throughput_identity(ev: PointEvidence) -> list:
+    out = []
+    p = ev.profile
+    samples = p.throughput * p.iteration_time_s
+    if abs(samples - p.effective_samples) > REL_TOL * max(p.effective_samples, 1.0):
+        out.append(
+            f"throughput x time = {samples:.6e} != effective_samples "
+            f"{p.effective_samples:.6e}"
+        )
+    metrics = IterationMetrics.from_profile(p, throughput_unit=ev.throughput_unit)
+    if abs(metrics.throughput - p.throughput) > REL_TOL * max(p.throughput, 1e-12):
+        out.append(
+            f"IterationMetrics.throughput {metrics.throughput:.9e} != "
+            f"profile.throughput {p.throughput:.9e}"
+        )
+    if abs(metrics.iteration_time_s - p.iteration_time_s) > REL_TOL * max(
+        p.iteration_time_s, 1e-12
+    ):
+        out.append("IterationMetrics.iteration_time_s diverges from the profile")
+    return out
+
+
+@_register(
+    "timeline-serial-order",
+    "point",
+    "the GPU executes its kernel stream serially: timeline events are "
+    "ordered and never overlap",
+)
+def _timeline_serial_order(ev: PointEvidence) -> list:
+    out = []
+    events = ev.plan.timeline.events
+    for prev, cur in zip(events, events[1:]):
+        if cur.start_s < prev.end_s - 1e-12:
+            out.append(
+                f"event {cur.name!r} starts {cur.start_s:.9e}s before "
+                f"{prev.name!r} ends {prev.end_s:.9e}s"
+            )
+            break
+    for event in events:
+        if event.end_s < event.start_s:
+            out.append(f"event {event.name!r} ends before it starts")
+            break
+    return out
+
+
+@_register(
+    "memory-breakdown-additivity",
+    "point",
+    "the peak footprint is bounded by its five-way tag breakdown: "
+    "max(tag peaks) <= peak_total <= sum(tag peaks)",
+)
+def _memory_breakdown_additivity(ev: PointEvidence) -> list:
+    out = []
+    snapshot = ev.plan.memory
+    peaks = snapshot.peak_by_tag
+    if not peaks:
+        return [f"no per-tag peaks recorded for {ev.model}"]
+    upper = sum(peaks.values())
+    lower = max(peaks.values())
+    if snapshot.peak_total > upper + BYTE_TOL + REL_TOL * upper:
+        out.append(
+            f"peak_total {snapshot.peak_total:.6e}B exceeds sum of tag "
+            f"peaks {upper:.6e}B"
+        )
+    if snapshot.peak_total + BYTE_TOL < lower:
+        out.append(
+            f"peak_total {snapshot.peak_total:.6e}B below largest tag "
+            f"peak {lower:.6e}B"
+        )
+    return out
+
+
+@_register(
+    "memory-within-capacity",
+    "point",
+    "a configuration that ran under memory checking fits its GPU",
+)
+def _memory_within_capacity(ev: PointEvidence) -> list:
+    peak = ev.plan.memory.peak_total
+    capacity = ev.gpu.memory_bytes
+    if peak > capacity * (1.0 + REL_TOL):
+        return [
+            f"peak footprint {peak / 2**30:.3f} GiB exceeds {ev.gpu.name} "
+            f"capacity {capacity / 2**30:.3f} GiB yet the run was admitted"
+        ]
+    return []
+
+
+@_register(
+    "weights-invariant-in-batch",
+    "point",
+    "weights and weight-gradient peaks do not depend on the batch size",
+)
+def _weights_invariant_in_batch(ev: PointEvidence) -> list:
+    if ev.small_plan is None:
+        return []
+    out = []
+    big = ev.plan.memory.peak_by_tag
+    small = ev.small_plan.memory.peak_by_tag
+    for tag in (AllocationTag.WEIGHTS, AllocationTag.WEIGHT_GRADIENTS):
+        a, b = big.get(tag, 0.0), small.get(tag, 0.0)
+        if abs(a - b) > BYTE_TOL:
+            out.append(
+                f"{tag.value} peak varies with batch: {b:.6e}B at "
+                f"b{ev.small_batch} vs {a:.6e}B at b{ev.batch_size}"
+            )
+    return out
+
+
+@_register(
+    "feature-maps-monotone-in-batch",
+    "point",
+    "the feature-map peak never shrinks when the batch grows",
+)
+def _feature_maps_monotone_in_batch(ev: PointEvidence) -> list:
+    if ev.small_plan is None or ev.small_batch >= ev.batch_size:
+        return []
+    tag = AllocationTag.FEATURE_MAPS
+    small = ev.small_plan.memory.peak_by_tag.get(tag, 0.0)
+    big = ev.plan.memory.peak_by_tag.get(tag, 0.0)
+    if big + BYTE_TOL < small:
+        return [
+            f"feature-map peak shrank from {small:.6e}B at b{ev.small_batch} "
+            f"to {big:.6e}B at b{ev.batch_size}"
+        ]
+    return []
+
+
+@_register(
+    "transform-conservation",
+    "point",
+    "the FP16-storage transform preserves FLOPs and weight bytes while "
+    "never growing the feature-map peak",
+)
+def _transform_conservation(ev: PointEvidence) -> list:
+    out = []
+    try:
+        rewritten = HalfPrecisionStorageTransform().apply(ev.plan)
+    except Exception as exc:  # TransformContractError and friends
+        return [f"fp16-storage transform violated its contract: {exc}"]
+    if abs(rewritten.total_flops - ev.plan.total_flops) > REL_TOL * max(
+        ev.plan.total_flops, 1.0
+    ):
+        out.append(
+            f"transform changed total FLOPs {ev.plan.total_flops:.6e} -> "
+            f"{rewritten.total_flops:.6e}"
+        )
+    tag = AllocationTag.FEATURE_MAPS
+    before = ev.plan.memory.peak_by_tag.get(tag, 0.0)
+    after = rewritten.memory.peak_by_tag.get(tag, 0.0)
+    if after > before * (1.0 + REL_TOL) + BYTE_TOL:
+        out.append(
+            f"fp16 storage grew the feature-map peak {before:.6e}B -> {after:.6e}B"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# sweep scope
+
+
+def _paired(ev: SweepEvidence):
+    return list(zip(ev.batch_sizes, ev.points))
+
+
+@_register(
+    "iteration-time-monotone",
+    "sweep",
+    "iteration time never decreases as the batch grows",
+)
+def _iteration_time_monotone(ev: SweepEvidence) -> list:
+    out = []
+    ok = [(b, p) for b, p in _paired(ev) if not p.oom and p.metrics is not None]
+    for (b1, p1), (b2, p2) in zip(ok, ok[1:]):
+        t1, t2 = p1.metrics.iteration_time_s, p2.metrics.iteration_time_s
+        if b2 > b1 and t2 < t1 * (1.0 - REL_TOL):
+            out.append(
+                f"{ev.model}/{ev.framework}: iteration time dropped "
+                f"{t1:.6e}s@b{b1} -> {t2:.6e}s@b{b2}"
+            )
+    return out
+
+
+@_register(
+    "throughput-monotone-on-ladder",
+    "sweep",
+    "throughput never decreases along the model's declared batch ladder "
+    "(paper Observation 1)",
+)
+def _throughput_monotone_on_ladder(ev: SweepEvidence) -> list:
+    out = []
+    ladder = set(get_model(ev.model).batch_sizes)
+    ok = [
+        (b, p)
+        for b, p in _paired(ev)
+        if b in ladder and not p.oom and p.metrics is not None
+    ]
+    for (b1, p1), (b2, p2) in zip(ok, ok[1:]):
+        thr1, thr2 = p1.metrics.throughput, p2.metrics.throughput
+        if b2 > b1 and thr2 < thr1 * (1.0 - REL_TOL):
+            out.append(
+                f"{ev.model}/{ev.framework}: throughput dropped "
+                f"{thr1:.4f}@b{b1} -> {thr2:.4f}@b{b2}"
+            )
+    return out
+
+
+@_register(
+    "oom-boundary-monotone",
+    "sweep",
+    "once a batch size runs out of memory, every larger batch does too",
+)
+def _oom_boundary_monotone(ev: SweepEvidence) -> list:
+    out = []
+    first_oom = None
+    for b, p in _paired(ev):
+        if p.oom and first_oom is None:
+            first_oom = b
+        elif not p.oom and first_oom is not None and b > first_oom:
+            out.append(
+                f"{ev.model}/{ev.framework}: b{b} fits although b{first_oom} OOMed"
+            )
+    return out
+
+
+@_register(
+    "sweep-metrics-in-range",
+    "sweep",
+    "every computed sweep point reports positive time/throughput and "
+    "utilizations in [0, 1]",
+)
+def _sweep_metrics_in_range(ev: SweepEvidence) -> list:
+    out = []
+    for b, p in _paired(ev):
+        if p.oom:
+            continue
+        m = p.metrics
+        if m is None:
+            out.append(f"b{b}: computed point carries no metrics")
+            continue
+        if m.throughput <= 0 or m.iteration_time_s <= 0:
+            out.append(f"b{b}: non-positive throughput or iteration time")
+        for label, value in (
+            ("gpu_utilization", m.gpu_utilization),
+            ("fp32_utilization", m.fp32_utilization),
+            ("cpu_utilization", m.cpu_utilization),
+        ):
+            if not 0.0 <= value <= 1.0:
+                out.append(f"b{b}: {label} = {value} outside [0, 1]")
+    return out
+
+
+# ----------------------------------------------------------------------
+# scaling scope
+
+
+@_register(
+    "scaling-at-most-linear",
+    "scaling",
+    "multi-GPU throughput never beats linear: efficiency <= 1, exposed "
+    "communication >= 0, communication fraction in [0, 1)",
+)
+def _scaling_at_most_linear(ev: ScalingEvidence) -> list:
+    out = []
+    p = ev.profile
+    if p.scaling_efficiency > 1.0 + REL_TOL:
+        out.append(
+            f"{ev.cluster.name}: scaling efficiency {p.scaling_efficiency:.6f} > 1"
+        )
+    if p.exposed_exchange_s < -1e-12:
+        out.append(f"{ev.cluster.name}: negative exposed exchange time")
+    if not 0.0 <= p.communication_fraction < 1.0 + REL_TOL:
+        out.append(
+            f"{ev.cluster.name}: communication fraction "
+            f"{p.communication_fraction:.6f} outside [0, 1)"
+        )
+    if p.iteration_time_s < p.compute_time_s * (1.0 - REL_TOL):
+        out.append(f"{ev.cluster.name}: iteration shorter than its compute phase")
+    return out
+
+
+@_register(
+    "allreduce-bandwidth-floor",
+    "scaling",
+    "a ring allreduce can never move its wire volume faster than the raw "
+    "link bandwidth, nor dodge per-step latency",
+)
+def _allreduce_bandwidth_floor(ev: ScalingEvidence) -> list:
+    cost = ev.allreduce_cost
+    if cost is None or ev.cluster.total_gpus <= 1:
+        return []
+    workers = ev.cluster.total_gpus
+    link = (
+        ev.cluster.inter_link
+        if ev.cluster.is_distributed
+        else ev.cluster.machine.intra_link
+    )
+    volume = 2.0 * ev.gradient_bytes * (workers - 1) / workers
+    floor = 2 * (workers - 1) * link.latency_s + volume / (link.bandwidth_gbs * 1e9)
+    if cost.total_s < floor * (1.0 - REL_TOL):
+        return [
+            f"{ev.cluster.name}: allreduce of {ev.gradient_bytes:.3e}B in "
+            f"{cost.total_s:.6e}s beats the wire floor {floor:.6e}s"
+        ]
+    return []

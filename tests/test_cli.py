@@ -44,6 +44,7 @@ class TestCommands:
         code, out = run_cli(capsys, "exhibit", "fig99")
         assert code == 2
 
+    @pytest.mark.slow
     def test_observations(self, capsys):
         code, out = run_cli(capsys, "observations")
         assert code == 0
@@ -59,6 +60,7 @@ class TestCommands:
         assert code == 0
         assert "2M1G (ethernet)" in out
 
+    @pytest.mark.slow
     def test_report(self, capsys, tmp_path):
         out_path = str(tmp_path / "r.html")
         code, out = run_cli(

@@ -33,6 +33,7 @@ _EXAMPLES = (
     ("scaling_study.py", "time-to-accuracy"),
     ("plan_inspect.py", "compiled plan"),
     ("fault_sweep.py", "fault injection on the simulated cluster"),
+    ("conformance_check.py", "byte-identical report"),
 )
 
 

@@ -103,16 +103,25 @@ class TestFig2:
 
 class TestFigs4To6:
     @pytest.fixture(scope="class")
-    def data4(self, suite):
-        return fig4.generate(suite)
+    def sweep_engine(self, suite, tmp_path_factory):
+        """Figs. 4-6 share one batch-sweep grid; a cached engine computes
+        it once and the other two generators replay it."""
+        from repro.engine.cache import ResultCache
+
+        cache = ResultCache(str(tmp_path_factory.mktemp("figs4-6-cache")))
+        return suite.engine(cache=cache)
 
     @pytest.fixture(scope="class")
-    def data5(self, suite):
-        return fig5.generate(suite)
+    def data4(self, suite, sweep_engine):
+        return fig4.generate(suite, engine=sweep_engine)
 
     @pytest.fixture(scope="class")
-    def data6(self, suite):
-        return fig6.generate(suite)
+    def data5(self, suite, sweep_engine):
+        return fig5.generate(suite, engine=sweep_engine)
+
+    @pytest.fixture(scope="class")
+    def data6(self, suite, sweep_engine):
+        return fig6.generate(suite, engine=sweep_engine)
 
     def test_fig4_throughput_monotone(self, data4):
         for series in data4["sweeps"]:

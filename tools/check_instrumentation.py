@@ -37,6 +37,8 @@ REQUIRED = [
     ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_outage"),
     ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_crash"),
     ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_timeout"),
+    ("repro/conformance/runner.py", "ConformanceRunner", "run"),
+    ("repro/conformance/generator.py", None, "shrink"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
