@@ -1,0 +1,44 @@
+"""``repro.bench`` — statistical differential benchmarking.
+
+The paper's core contribution is measurement you can trust; this package
+supplies the cross-run half of that trust.  A seeded :class:`NoiseModel`
+makes repeated executions of a :class:`~repro.plan.compiled.CompiledPlan`
+exhibit machine-like variance (jittered kernel times, dispatch gaps and
+interconnect latency), an :class:`InterleavedRunner` alternates baseline
+and treatment runs in randomized order so slow drift cancels out of the
+A/B difference, and the verdict is statistical: median speedup, bootstrap
+confidence interval, and a one-sided Welch p-value for "did this change
+make things slower".
+
+Results append to a schema-versioned ``BENCH_<suite>.json`` trajectory
+(:class:`BenchStore`) keyed by the environment fingerprint from
+:mod:`repro.engine.keys`, and :func:`evaluate_gate` turns one run into a
+CI pass/fail that only fires on *statistically significant* slowdowns —
+never on noise.  ``tbd bench run|compare|history|gate`` is the CLI.
+"""
+
+from repro.bench.gate import GateReport, evaluate_gate
+from repro.bench.noise import NoiseModel, NoiseStream
+from repro.bench.runner import BenchResult, InterleavedRunner
+from repro.bench.store import BENCH_SCHEMA, BenchStore, environment_fingerprint
+from repro.bench.subjects import PlanSubject, Subject, subject_for
+from repro.bench.suites import BenchSuite, get_suite, run_suite, suite_catalog
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchResult",
+    "BenchStore",
+    "BenchSuite",
+    "GateReport",
+    "InterleavedRunner",
+    "NoiseModel",
+    "NoiseStream",
+    "PlanSubject",
+    "Subject",
+    "environment_fingerprint",
+    "evaluate_gate",
+    "get_suite",
+    "run_suite",
+    "subject_for",
+    "suite_catalog",
+]

@@ -1,0 +1,78 @@
+"""The CI regression gate.
+
+The gate's contract is asymmetric on purpose: it fails **only** on
+statistically significant slowdowns — verdict ``regression``, which the
+runner grants only when the one-sided Welch p-value clears alpha *and*
+the median slowdown exceeds the ``min_effect`` noise floor.  Noise alone
+(``indistinguishable``) and wins (``improvement``) both pass, so a green
+gate means "nothing got measurably slower", not "nothing changed".
+
+Suites that declare an expected verdict (the ``noop`` false-positive
+control, the ``slowdown5`` power control) additionally fail the gate on
+any mismatch — those suites exist to prove the *gate itself* still
+discriminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Outcome of gating one suite run."""
+
+    suite: str
+    passed: bool
+    #: Case names that came back ``regression``.
+    regressions: tuple
+    #: ``(case name, expected, actual)`` for control-suite mismatches.
+    mismatches: tuple
+    cases: int
+
+    def to_doc(self) -> dict:
+        return {
+            "suite": self.suite,
+            "passed": self.passed,
+            "regressions": list(self.regressions),
+            "mismatches": [list(entry) for entry in self.mismatches],
+            "cases": self.cases,
+        }
+
+    def format_summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        parts = [f"gate {status}: {self.cases} case(s)"]
+        if self.regressions:
+            parts.append(f"regressions: {', '.join(self.regressions)}")
+        if self.mismatches:
+            parts.append(
+                "control mismatches: "
+                + ", ".join(
+                    f"{name} expected {expected} got {actual}"
+                    for name, expected, actual in self.mismatches
+                )
+            )
+        return "; ".join(parts)
+
+
+def evaluate_gate(suite, results) -> GateReport:
+    """Gate one suite run: fail on any ``regression`` verdict, and — for
+    control suites with a declared expectation — on any verdict mismatch.
+    ``suite`` is a :class:`~repro.bench.suites.BenchSuite` or a name used
+    only for the report (no expectation)."""
+    suite_name = suite if isinstance(suite, str) else suite.name
+    expect = None if isinstance(suite, str) else suite.expect
+    regressions = tuple(r.name for r in results if r.verdict == "regression")
+    mismatches = ()
+    if expect is not None:
+        mismatches = tuple(
+            (r.name, expect, r.verdict) for r in results if r.verdict != expect
+        )
+    passed = not mismatches if expect is not None else not regressions
+    return GateReport(
+        suite=suite_name,
+        passed=passed,
+        regressions=regressions,
+        mismatches=mismatches,
+        cases=len(results),
+    )

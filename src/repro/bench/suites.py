@@ -1,0 +1,159 @@
+"""Named benchmark suites: the comparisons CI tracks over time.
+
+A suite is a fixed list of A/B cases — (model, framework, batch,
+treatment) — run under one noise seed and recorded as one trajectory
+point.  Three ship by default:
+
+- ``fused-rnn``: the repo's flagship optimization (cuDNN-style fused RNN
+  cells) against the baseline plan on the three RNN models.  This is the
+  suite CI gates: the transform must stay a statistically significant
+  improvement, never regress.
+- ``noop``: baseline vs an independently-built second baseline on three
+  architecture families.  Every case must come back
+  ``indistinguishable``; this is the gate's false-positive control.
+- ``slowdown5``: baseline vs a deterministic 5% kernel-time slowdown.
+  Every case must come back ``regression``; this is the power control —
+  proof the gate actually fires when the code gets slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.noise import NoiseModel
+from repro.bench.runner import InterleavedRunner
+from repro.bench.subjects import subject_for
+from repro.observability.tracer import trace_span
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One A/B comparison inside a suite."""
+
+    model: str
+    framework: str
+    batch_size: int
+    treatment: str
+    baseline: str = "baseline"
+
+    @property
+    def name(self) -> str:
+        return f"{self.model}/{self.framework}/b{self.batch_size}:{self.treatment}"
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """A named, ordered list of cases plus the expectation the gate and
+    the suite's own controls assert (``None`` = no uniform expectation)."""
+
+    name: str
+    description: str
+    cases: tuple = field(default_factory=tuple)
+    #: Expected verdict for every case, or None when the suite only
+    #: gates against regressions (the fused-rnn trajectory suite).
+    expect: str | None = None
+
+
+_RNN_POINTS = (
+    ("nmt", "tensorflow", 64),
+    ("sockeye", "mxnet", 64),
+    ("deep-speech-2", "mxnet", 16),
+)
+
+_CONTROL_POINTS = (
+    ("resnet-50", "tensorflow", 32),
+    ("nmt", "tensorflow", 64),
+    ("sockeye", "mxnet", 64),
+)
+
+_SUITES = {
+    "fused-rnn": BenchSuite(
+        name="fused-rnn",
+        description=(
+            "Fused-RNN plan transform vs baseline on the three RNN models "
+            "(the CI-gated trajectory suite)"
+        ),
+        cases=tuple(
+            BenchCase(model, framework, batch, "fused-rnn")
+            for model, framework, batch in _RNN_POINTS
+        ),
+    ),
+    "noop": BenchSuite(
+        name="noop",
+        description=(
+            "Baseline vs an independent second baseline — the gate's "
+            "false-positive control; every verdict must be "
+            "'indistinguishable'"
+        ),
+        cases=tuple(
+            BenchCase(model, framework, batch, "baseline")
+            for model, framework, batch in _CONTROL_POINTS
+        ),
+        expect="indistinguishable",
+    ),
+    "slowdown5": BenchSuite(
+        name="slowdown5",
+        description=(
+            "Baseline vs a deterministic 5% kernel-time slowdown — the "
+            "gate's power control; every verdict must be 'regression'"
+        ),
+        cases=tuple(
+            BenchCase(model, framework, batch, "slowdown:5")
+            for model, framework, batch in _CONTROL_POINTS
+        ),
+        expect="regression",
+    ),
+}
+
+
+def get_suite(name: str) -> BenchSuite:
+    try:
+        return _SUITES[name]
+    except KeyError:
+        known = ", ".join(sorted(_SUITES))
+        raise ValueError(f"unknown bench suite {name!r}; known: {known}") from None
+
+
+def suite_catalog() -> list:
+    """All registered suites, sorted by name."""
+    return [_SUITES[name] for name in sorted(_SUITES)]
+
+
+def run_suite(
+    suite,
+    noise: NoiseModel | None = None,
+    samples: int | None = None,
+    alpha: float = 0.05,
+    min_effect: float = 0.01,
+    max_samples: int = 300,
+) -> list:
+    """Run every case of ``suite`` (a name or a :class:`BenchSuite`) and
+    return the :class:`~repro.bench.runner.BenchResult` list, in case
+    order.
+
+    Both sides of every case are built independently — even a "noop" case
+    constructs two separate baseline subjects — so the runner's
+    distinct-subject contract holds and the A/B really exercises two
+    measurement streams.
+    """
+    if isinstance(suite, str):
+        suite = get_suite(suite)
+    noise = noise if noise is not None else NoiseModel()
+    runner = InterleavedRunner(
+        noise=noise, alpha=alpha, min_effect=min_effect, max_samples=max_samples
+    )
+    results = []
+    with trace_span(
+        "bench.suite", suite=suite.name, cases=len(suite.cases), seed=noise.seed
+    ):
+        for case in suite.cases:
+            baseline = subject_for(
+                case.baseline, case.model, case.framework, case.batch_size
+            )
+            treatment = subject_for(
+                case.treatment, case.model, case.framework, case.batch_size
+            )
+            results.append(
+                runner.run(baseline, treatment, name=case.name, samples=samples)
+            )
+    return results

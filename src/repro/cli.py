@@ -17,6 +17,10 @@ Subcommands:
   the paper's physical invariants over the grid plus seeded fuzz cases,
   list the registries, or shrink one failing spec to a minimal
   counterexample.
+- ``tbd bench run|compare|history|gate`` — statistical differential
+  benchmarking: interleaved A/B runs under a seeded noise model, the
+  ``BENCH_<suite>.json`` trajectory store, and the CI regression gate
+  that fails only on statistically significant slowdowns.
 - ``tbd analyze MODEL [-f FW] [-b BATCH]`` — the full Fig. 3 pipeline
   report, plus the optimization advisor's recommendations.
 - ``tbd exhibit NAME [...]`` — regenerate tables/figures (``all`` = paper
@@ -39,6 +43,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench.cli import register_bench_command
 from repro.conformance.cli import register_conformance_command
 from repro.core.analysis import AnalysisPipeline
 from repro.core.observations import verify_all
@@ -433,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     register_cache_command(sub)
     register_conformance_command(sub)
+    register_bench_command(sub)
 
     analyze = sub.add_parser("analyze", help="full analysis pipeline + advice")
     add_config(analyze)

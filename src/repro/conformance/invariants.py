@@ -396,6 +396,40 @@ def _transform_conservation(ev: PointEvidence) -> list:
     return out
 
 
+@_register(
+    "noise-median-convergence",
+    "point",
+    "the median of noisy makespan replays converges to the noiseless "
+    "closed form (the bench noise model is median-preserving)",
+)
+def _noise_median_convergence(ev: PointEvidence) -> list:
+    # Imported here: the bench package depends on repro.plan, and keeping
+    # conformance importable without it would otherwise become circular.
+    from repro.bench.noise import NoiseModel, median_convergence_tolerance
+    from repro.plan.executor import makespan_under_noise, plan_arrays
+
+    samples = 15
+    noise = NoiseModel(seed=ev.batch_size)
+    durations, host_syncs = plan_arrays(ev.plan.timings)
+    observed = sorted(
+        makespan_under_noise(
+            durations, host_syncs, ev.plan.framework, noise.stream(index)
+        )
+        for index in range(samples)
+    )
+    median = observed[samples // 2]
+    noiseless = ev.plan.makespan_s
+    tolerance = median_convergence_tolerance(noise, samples)
+    deviation = abs(median / noiseless - 1.0)
+    if deviation > tolerance:
+        return [
+            f"median of {samples} noisy makespans {median:.6e}s deviates "
+            f"{deviation:.3%} from the noiseless {noiseless:.6e}s "
+            f"(tolerance {tolerance:.3%})"
+        ]
+    return []
+
+
 # ----------------------------------------------------------------------
 # sweep scope
 

@@ -65,6 +65,15 @@ FAULT_CODE = (
     "hardware/interconnect.py",
 )
 
+#: Run dimensions that deliberately do NOT participate in the cache key.
+#: The bench noise seed is measurement-layer state: it perturbs *observed*
+#: times, never the simulated result a point caches, so two runs at
+#: different seeds must hit the same cache entry.  Adding one of these to
+#: the key document is a bug (it would shard the cache by measurement
+#: configuration); the bench trajectory records them separately in each
+#: ``BENCH_*.json`` record instead.
+NON_KEY_RUN_DIMENSIONS = ("noise_seed",)
+
 _PACKAGE_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Per-file digest cache: absolute path -> sha256 hex of the source bytes.
@@ -205,6 +214,25 @@ def code_fingerprint(model_module: str | None = None, with_faults: bool = False)
     fingerprint = digest(sorted(entries))
     _CODE_FINGERPRINTS[cache_key] = fingerprint
     return fingerprint
+
+
+def modules_fingerprint(entries) -> str:
+    """Composite digest of arbitrary package-relative source entries
+    (files or directories), for subsystems with their own code-dependency
+    sets — e.g. the bench harness fingerprints itself on top of
+    :data:`CORE_CODE` so trajectory records can tell "the timing model
+    changed" apart from "the measurement harness changed"."""
+    digests = []
+    seen = set()
+    for entry in entries:
+        for relative in _iter_code_files(entry):
+            if relative in seen:
+                continue
+            seen.add(relative)
+            digests.append(
+                [relative, _file_digest(os.path.join(_PACKAGE_ROOT, relative))]
+            )
+    return digest(sorted(digests))
 
 
 def clear_fingerprint_caches() -> None:

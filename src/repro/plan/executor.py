@@ -119,12 +119,21 @@ class ExecutionReplay:
     dispatch_cpu_s: float
 
 
-def replay(timings, framework: Framework) -> ExecutionReplay:
+def replay(timings, framework: Framework, noise=None) -> ExecutionReplay:
     """Run the CPU-dispatch / GPU-execute loop over roofline-timed kernels.
 
     Returns both the per-kernel event record (with idle gaps attributed to
     their cause: frontend warmup, dispatch starvation, or host syncs) and
     the aggregates the session's metrics derive from.
+
+    ``noise`` is an optional :class:`repro.bench.noise.NoiseStream` (or any
+    object with ``kernel_factors(n)`` / ``dispatch_factors(n)``): when
+    given, every kernel duration and every dispatch gap is scaled by a
+    seeded multiplicative jitter factor, so repeated replays of the same
+    plan exhibit machine-like run-to-run variance instead of being
+    bit-deterministic.  With ``noise=None`` this path is bit-identical to
+    the historical noiseless replay (the aggregates keep their exact
+    accumulation order).
     """
     dispatch = framework.dispatch_cost_s
     sync = framework.sync_latency_s
@@ -132,15 +141,26 @@ def replay(timings, framework: Framework) -> ExecutionReplay:
     gpu_free = 0.0
     busy = 0.0
     sync_cpu = 0.0
+    dispatch_cpu_accum = 0.0
     events: list = []
     gaps: list = []
     pending_cause = "frontend"
-    for timing in timings:
-        cpu_ready += dispatch
+    if noise is not None:
+        kernel_factors = noise.kernel_factors(len(timings))
+        dispatch_factors = noise.dispatch_factors(len(timings))
+    for index, timing in enumerate(timings):
+        if noise is None:
+            issue_cost = dispatch
+            duration = timing.duration_s
+        else:
+            issue_cost = dispatch * dispatch_factors[index]
+            duration = timing.duration_s * kernel_factors[index]
+            dispatch_cpu_accum += issue_cost
+        cpu_ready += issue_cost
         start = max(gpu_free, cpu_ready)
         if start > gpu_free:
             gaps.append(Gap(start_s=gpu_free, end_s=start, cause=pending_cause))
-        end = start + timing.duration_s
+        end = start + duration
         events.append(
             TimelineEvent(
                 name=timing.kernel.name,
@@ -152,7 +172,7 @@ def replay(timings, framework: Framework) -> ExecutionReplay:
             )
         )
         gpu_free = end
-        busy += timing.duration_s
+        busy += duration
         if timing.kernel.host_sync:
             # The framework waits for this result, then spends the sync
             # latency in control-flow code before issuing anything else.
@@ -162,10 +182,48 @@ def replay(timings, framework: Framework) -> ExecutionReplay:
         else:
             pending_cause = "dispatch"
     makespan = max(gpu_free, cpu_ready)
-    dispatch_cpu = framework.frontend_cost_s + dispatch * len(timings) + sync_cpu
+    if noise is None:
+        dispatch_cpu = framework.frontend_cost_s + dispatch * len(timings) + sync_cpu
+    else:
+        dispatch_cpu = framework.frontend_cost_s + dispatch_cpu_accum + sync_cpu
     return ExecutionReplay(
         timeline=Timeline(events=events, gaps=gaps, makespan_s=makespan),
         makespan_s=makespan,
         gpu_busy_s=busy,
         dispatch_cpu_s=dispatch_cpu,
     )
+
+
+def makespan_under_noise(durations, host_syncs, framework: Framework, noise) -> float:
+    """One noisy makespan without materializing the event timeline.
+
+    The benchmarking harness replays a plan hundreds of times per A/B
+    sample series; building a :class:`TimelineEvent` per kernel per sample
+    would dominate the measurement.  This runs the identical dispatch /
+    execute recurrence over precomputed ``durations`` / ``host_syncs``
+    arrays (see :func:`plan_arrays`) and returns only the makespan.
+    ``tests/test_bench.py`` pins its agreement with :func:`replay` under
+    the same noise stream.
+    """
+    dispatch = framework.dispatch_cost_s
+    sync = framework.sync_latency_s
+    cpu_ready = framework.frontend_cost_s
+    gpu_free = 0.0
+    count = len(durations)
+    kernel_factors = noise.kernel_factors(count)
+    dispatch_factors = noise.dispatch_factors(count)
+    for index in range(count):
+        cpu_ready += dispatch * dispatch_factors[index]
+        start = cpu_ready if cpu_ready > gpu_free else gpu_free
+        gpu_free = start + durations[index] * kernel_factors[index]
+        if host_syncs[index]:
+            cpu_ready = gpu_free + sync
+    return gpu_free if gpu_free > cpu_ready else cpu_ready
+
+
+def plan_arrays(timings) -> tuple:
+    """``(durations, host_syncs)`` lists for :func:`makespan_under_noise`,
+    extracted once per plan instead of once per noisy sample."""
+    durations = [timing.duration_s for timing in timings]
+    host_syncs = [timing.kernel.host_sync for timing in timings]
+    return durations, host_syncs

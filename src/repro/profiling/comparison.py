@@ -13,8 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.profiling.sampling import IterationTimeline, StablePhaseSampler
-from repro.profiling.statistics import ComparisonResult, compare, summarize
+from repro.profiling.statistics import (
+    ComparisonResult,
+    compare,
+    required_sample_count,
+    summarize,
+)
 from repro.training.session import TrainingSession
+
+#: Pilot window used to estimate the variance before auto-sizing.
+_PILOT_SAMPLES = 50
+#: Target CI half-width (relative to the mean) for the auto-sized run.
+_DEFAULT_PRECISION = 0.005
 
 
 @dataclass(frozen=True)
@@ -28,6 +38,8 @@ class ABReport:
     ci_a: tuple
     ci_b: tuple
     result: ComparisonResult
+    #: Iterations actually sampled per side (auto-sized unless overridden).
+    samples: int = 0
 
     @property
     def verdict(self) -> str:
@@ -59,16 +71,57 @@ def _throughput_samples(
     return profile.effective_samples / stable
 
 
+def _auto_sample_count(
+    model: str,
+    framework_a: str,
+    framework_b: str,
+    batch: int,
+    relative_precision: float,
+) -> int:
+    """Sample count sized to the *observed* variance: draw a short pilot
+    window per side, ask :func:`required_sample_count` what each needs for
+    the target precision, and take the worse of the two (clamped to the
+    paper's 50-1000 sampling range)."""
+    needed = max(
+        required_sample_count(
+            _throughput_samples(model, framework_a, batch, _PILOT_SAMPLES, seed=1),
+            relative_precision=relative_precision,
+        ),
+        required_sample_count(
+            _throughput_samples(model, framework_b, batch, _PILOT_SAMPLES, seed=2),
+            relative_precision=relative_precision,
+        ),
+    )
+    return max(50, min(1000, needed))
+
+
 def ab_compare(
     model: str,
     framework_a: str,
     framework_b: str,
     batch: int,
-    iterations: int = 200,
+    samples: int | None = None,
+    iterations: int | None = None,
+    relative_precision: float = _DEFAULT_PRECISION,
 ) -> ABReport:
-    """Compare two frameworks on one model with sampled iterations."""
-    samples_a = _throughput_samples(model, framework_a, batch, iterations, seed=1)
-    samples_b = _throughput_samples(model, framework_b, batch, iterations, seed=2)
+    """Compare two frameworks on one model with sampled iterations.
+
+    By default the sample count adapts to the observed variance: a pilot
+    window per side feeds :func:`required_sample_count` at
+    ``relative_precision``, so noisy configurations sample more and quiet
+    ones stop early.  Pass an explicit ``samples=`` (or the legacy
+    ``iterations=`` alias) to pin the caller-fixed count instead.
+    """
+    if samples is not None and iterations is not None:
+        raise ValueError("pass samples= or the legacy iterations= alias, not both")
+    if samples is None:
+        samples = iterations
+    if samples is None:
+        samples = _auto_sample_count(
+            model, framework_a, framework_b, batch, relative_precision
+        )
+    samples_a = _throughput_samples(model, framework_a, batch, samples, seed=1)
+    samples_b = _throughput_samples(model, framework_b, batch, samples, seed=2)
     summary_a = summarize(samples_a)
     summary_b = summarize(samples_b)
     result = compare(samples_a, samples_b, (framework_a, framework_b))
@@ -80,4 +133,5 @@ def ab_compare(
         ci_a=(summary_a.ci_low, summary_a.ci_high),
         ci_b=(summary_b.ci_low, summary_b.ci_high),
         result=result,
+        samples=int(samples),
     )

@@ -244,3 +244,48 @@ class TestEngineCli:
         code, out = run_cli(capsys, "cache", "stats")
         assert code == 0
         assert "entries: 5" in out and "env-cache" in out
+
+
+class TestBenchCommand:
+    def test_compare_prints_verdict(self, capsys):
+        code, out = run_cli(
+            capsys, "bench", "compare", "nmt", "fused-rnn",
+            "-b", "64", "--samples", "20", "--seed", "7",
+        )
+        assert code == 0
+        assert "improvement" in out and "speedup" in out
+
+    def test_run_records_trajectory_and_history_reads_it(self, capsys, tmp_path):
+        directory = str(tmp_path)
+        code, out = run_cli(
+            capsys, "bench", "run", "noop",
+            "--seed", "7", "--samples", "20", "--dir", directory,
+        )
+        assert code == 0
+        assert "BENCH_noop.json" in out
+        code, out = run_cli(capsys, "bench", "history", "noop", "--dir", directory)
+        assert code == 0
+        assert "seed=7" in out and "gate=PASS" in out
+
+    def test_history_lists_suites(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "bench", "history", "--list", "--dir", str(tmp_path))
+        assert code == 0
+        assert "fused-rnn" in out and "slowdown5" in out
+
+    def test_gate_exit_codes(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "bench", "gate", "noop",
+            "--seed", "7", "--samples", "20", "--dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "gate PASS" in out
+        # An alpha of ~1 makes every wobble "significant", but the noop
+        # control expects 'indistinguishable' verdicts -- the mismatch
+        # must fail the gate.
+        code, out = run_cli(
+            capsys, "bench", "gate", "noop",
+            "--seed", "7", "--samples", "20", "--dir", str(tmp_path),
+            "--alpha", "0.999", "--min-effect", "0.0",
+        )
+        assert code == 1
+        assert "gate FAIL" in out

@@ -77,6 +77,17 @@ class TestABComparison:
         point = suite.run("resnet-50", "mxnet", 32).throughput
         assert report.mean_a == pytest.approx(point, rel=0.05)
 
+    def test_explicit_samples_override(self):
+        report = ab_compare("resnet-50", "mxnet", "tensorflow", 32, samples=80)
+        assert report.samples == 80
+        with pytest.raises(ValueError):
+            ab_compare("resnet-50", "mxnet", "tensorflow", 32, samples=80, iterations=90)
+
+    def test_adaptive_sizing_reports_its_sample_count(self):
+        report = ab_compare("resnet-50", "mxnet", "tensorflow", 32)
+        assert 50 <= report.samples <= 1000
+        assert report.result.p_value < 0.05
+
 
 class TestHTMLReport:
     def test_selected_exhibits_only(self):

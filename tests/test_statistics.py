@@ -1,5 +1,7 @@
 """Tests for measurement statistics."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -11,6 +13,8 @@ from repro.profiling.statistics import (
     compare,
     required_sample_count,
     summarize,
+    welch_p_value,
+    welch_statistic,
 )
 
 
@@ -40,9 +44,31 @@ class TestSummarize:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            summarize([1.0])
+            summarize([])
         with pytest.raises(ValueError):
             summarize([1.0, 2.0], confidence=0.5)
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=0.5)
+
+    def test_single_sample_is_a_defined_zero_width_interval(self):
+        summary = summarize([3.5])
+        assert summary.count == 1
+        assert summary.mean == 3.5
+        assert summary.std == 0.0
+        assert (summary.ci_low, summary.ci_high) == (3.5, 3.5)
+        assert summary.ci_half_width_fraction == 0.0
+
+    def test_zero_variance_series(self):
+        summary = summarize([2.0] * 10)
+        assert (summary.ci_low, summary.ci_high) == (2.0, 2.0)
+        assert summary.coefficient_of_variation == 0.0
+        assert summary.ci_half_width_fraction == 0.0
+
+    def test_zero_mean_degenerate_fractions(self):
+        assert summarize([0.0, 0.0]).coefficient_of_variation == 0.0
+        spread = summarize([-1.0, 1.0])
+        assert spread.coefficient_of_variation == float("inf")
+        assert spread.ci_half_width_fraction == float("inf")
 
     @given(
         values=st.lists(
@@ -72,9 +98,15 @@ class TestBootstrap:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            bootstrap_ci([1.0])
+            bootstrap_ci([])
         with pytest.raises(ValueError):
             bootstrap_ci([1.0, 2.0], resamples=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_degenerate_inputs_give_zero_width_intervals(self):
+        assert bootstrap_ci([4.0]) == (4.0, 4.0)
+        assert bootstrap_ci([7.0] * 25) == (7.0, 7.0)
 
 
 class TestRequiredSamples:
@@ -134,3 +166,72 @@ class TestCompare:
     def test_validation(self):
         with pytest.raises(ValueError):
             compare([1.0], [1.0, 2.0])
+
+    def test_carries_two_sided_p_value(self):
+        rng = np.random.default_rng(0)
+        clear = compare(rng.normal(110, 5, 200), rng.normal(100, 5, 200))
+        null = compare(rng.normal(100, 20, 10), rng.normal(100, 20, 10))
+        assert clear.p_value < 0.001
+        assert null.p_value > 0.05
+        assert clear.significant == (clear.p_value < 0.05)
+
+
+class TestWelch:
+    def test_statistic_signs(self):
+        rng = np.random.default_rng(0)
+        high = rng.normal(110, 5, 100)
+        low = rng.normal(100, 5, 100)
+        assert welch_statistic(high, low) > 0
+        assert welch_statistic(low, high) < 0
+
+    def test_zero_variance_sides_are_exact(self):
+        assert welch_statistic([1.0, 1.0], [1.0, 1.0]) == 0.0
+        assert welch_statistic([2.0, 2.0], [1.0, 1.0]) == float("inf")
+        assert welch_p_value([2.0, 2.0], [1.0, 1.0], "greater") == 0.0
+        assert welch_p_value([2.0, 2.0], [1.0, 1.0], "less") == 1.0
+
+    def test_one_sided_pair_sums_to_one(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(100, 5, 50), rng.normal(101, 5, 50)
+        greater = welch_p_value(a, b, "greater")
+        less = welch_p_value(a, b, "less")
+        assert greater + less == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            welch_statistic([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            welch_p_value([1.0, 2.0], [1.0, 2.0], "sideways")
+
+    def test_p_values_uniform_under_null(self):
+        """Seeded property: with no real difference, p-values must be
+        ~Uniform(0,1) — the false-positive rate at any alpha equals alpha.
+        Checked at three cut points over 400 null comparisons."""
+        rng = np.random.default_rng(7)
+        p_values = np.array(
+            [
+                welch_p_value(rng.normal(100, 5, 40), rng.normal(100, 5, 40))
+                for _ in range(400)
+            ]
+        )
+        for cut in (0.1, 0.5, 0.9):
+            observed = float((p_values <= cut).mean())
+            # Binomial(400, cut) three-sigma band.
+            band = 3.0 * math.sqrt(cut * (1.0 - cut) / p_values.size)
+            assert abs(observed - cut) <= band, (cut, observed)
+
+    def test_detects_5pct_slowdown_with_power(self):
+        """Seeded property: at the sample count `required_sample_count`
+        chooses from a pilot, a one-sided Welch test at alpha=0.05 detects
+        a 5% mean slowdown in >= 90% of trials."""
+        rng = np.random.default_rng(11)
+        pilot = rng.normal(1.0, 0.02, 50)
+        n = required_sample_count(pilot, relative_precision=0.005)
+        detected = 0
+        trials = 100
+        for _ in range(trials):
+            baseline = rng.normal(1.0, 0.02, n)
+            slowed = rng.normal(1.05, 0.02 * 1.05, n)
+            if welch_p_value(slowed, baseline, "greater") < 0.05:
+                detected += 1
+        assert detected >= 0.9 * trials, f"power {detected}/{trials} at n={n}"

@@ -39,6 +39,16 @@ REQUIRED = [
     ("repro/faults/trainer.py", "FaultTolerantTrainer", "_recover_timeout"),
     ("repro/conformance/runner.py", "ConformanceRunner", "run"),
     ("repro/conformance/generator.py", None, "shrink"),
+    ("repro/bench/runner.py", "InterleavedRunner", "run"),
+    ("repro/bench/suites.py", None, "run_suite"),
+]
+
+#: Entry points that must additionally record metrics: the function body
+#: must contain a counter/gauge/histogram call (or reach the registry via
+#: get_metrics).  Spans tell you *that* a bench ran; the counters are what
+#: exporters scrape, so losing them silently blinds dashboards.
+REQUIRED_METRICS = [
+    ("repro/bench/runner.py", "InterleavedRunner", "run"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -54,6 +64,25 @@ def _calls_trace_span(function: ast.FunctionDef) -> bool:
         if isinstance(callee, ast.Name) and callee.id == "trace_span":
             return True
         if isinstance(callee, ast.Attribute) and callee.attr in ("span", "trace_span"):
+            return True
+    return False
+
+
+def _records_metrics(function: ast.FunctionDef) -> bool:
+    """True if the function body touches the metrics registry: a
+    ``get_metrics()`` call or a ``.counter/.gauge/.histogram`` method."""
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id == "get_metrics":
+            return True
+        if isinstance(callee, ast.Attribute) and callee.attr in (
+            "counter",
+            "gauge",
+            "histogram",
+            "get_metrics",
+        ):
             return True
     return False
 
@@ -80,7 +109,8 @@ def check_instrumentation(source_root: str = _SRC) -> list:
     """Returns a list of human-readable problems (empty = all good)."""
     problems = []
     trees: dict = {}
-    for relative, class_name, function_name in REQUIRED:
+
+    def resolve(relative, class_name, function_name):
         path = os.path.join(source_root, relative)
         where = f"{relative}::{class_name + '.' if class_name else ''}{function_name}"
         if path not in trees:
@@ -92,13 +122,20 @@ def check_instrumentation(source_root: str = _SRC) -> list:
         tree = trees[path]
         if isinstance(tree, Exception):
             problems.append(f"{where}: cannot parse module ({tree})")
-            continue
+            return where, None
         function = _find_function(tree, class_name, function_name)
         if function is None:
             problems.append(f"{where}: entry point not found")
-            continue
-        if not _calls_trace_span(function):
+        return where, function
+
+    for relative, class_name, function_name in REQUIRED:
+        where, function = resolve(relative, class_name, function_name)
+        if function is not None and not _calls_trace_span(function):
             problems.append(f"{where}: no trace_span(...) call in body")
+    for relative, class_name, function_name in REQUIRED_METRICS:
+        where, function = resolve(relative, class_name, function_name)
+        if function is not None and not _records_metrics(function):
+            problems.append(f"{where}: no metrics (counter/gauge/histogram) call in body")
     return problems
 
 
@@ -109,7 +146,10 @@ def main() -> int:
         for problem in problems:
             print(f"  - {problem}")
         return 1
-    print(f"instrumentation lint OK: {len(REQUIRED)} entry points instrumented")
+    print(
+        f"instrumentation lint OK: {len(REQUIRED)} entry points instrumented, "
+        f"{len(REQUIRED_METRICS)} recording metrics"
+    )
     return 0
 
 
