@@ -23,6 +23,10 @@ from repro.bench.runner import BenchResult, InterleavedRunner
 from repro.bench.store import BENCH_SCHEMA, BenchStore, environment_fingerprint
 from repro.bench.subjects import PlanSubject, Subject, subject_for
 from repro.bench.suites import BenchSuite, get_suite, run_suite, suite_catalog
+from repro.bench.symbolic_sweep import (
+    SweepCaseResult,
+    run_symbolic_sweep,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -35,6 +39,8 @@ __all__ = [
     "NoiseStream",
     "PlanSubject",
     "Subject",
+    "SweepCaseResult",
+    "run_symbolic_sweep",
     "environment_fingerprint",
     "evaluate_gate",
     "get_suite",

@@ -14,6 +14,7 @@ semantics and runner construction live in one place.
 
 from __future__ import annotations
 
+from repro.bench import symbolic_sweep
 from repro.bench.gate import evaluate_gate
 from repro.bench.noise import NoiseModel
 from repro.bench.runner import InterleavedRunner
@@ -61,6 +62,13 @@ def register_bench_command(subparsers) -> None:
                 help="trajectory directory holding BENCH_<suite>.json "
                 "(default benchmarks/trajectory)",
             )
+            parser.add_argument(
+                "--repeats",
+                type=int,
+                default=5,
+                help="wall-clock repeats for the symbolic-sweep suite "
+                "(default 5; ignored by the A/B suites)",
+            )
 
     run = sub.add_parser(
         "run", help="run one suite and append its trajectory record"
@@ -101,6 +109,21 @@ def register_bench_command(subparsers) -> None:
     bench.set_defaults(func=cmd_bench)
 
 
+def _run_symbolic_sweep(args) -> bool:
+    """Run the compile-count/bit-identity sweep suite; returns the gate
+    verdict (it measures the compiler itself, so it bypasses the noise-model
+    A/B machinery)."""
+    results, gate_doc, path = symbolic_sweep.run_and_record(
+        args.dir, repeats=args.repeats
+    )
+    for result in results:
+        print(result.format_row())
+    print(f"trajectory: {path}")
+    if not gate_doc["passed"]:
+        print("guard failures: " + ", ".join(gate_doc["failures"]))
+    return gate_doc["passed"]
+
+
 def _run_and_record(args, record: bool):
     suite = get_suite(args.suite)
     noise = NoiseModel(seed=args.seed)
@@ -127,11 +150,16 @@ def _run_and_record(args, record: bool):
 
 
 def _cmd_run(args) -> int:
+    if args.suite == symbolic_sweep.SUITE_NAME:
+        _run_symbolic_sweep(args)
+        return 0
     _run_and_record(args, record=True)
     return 0
 
 
 def _cmd_gate(args) -> int:
+    if args.suite == symbolic_sweep.SUITE_NAME:
+        return 0 if _run_symbolic_sweep(args) else 1
     report = _run_and_record(args, record=True)
     print(report.format_summary())
     return 0 if report.passed else 1
@@ -160,6 +188,11 @@ def _cmd_history(args) -> int:
         print("suites:")
         for suite in suite_catalog():
             print(f"  {suite.name:<12} {suite.description}")
+        print(
+            f"  {symbolic_sweep.SUITE_NAME:<12} batch sweeps vs per-point "
+            "recompiles: compile-count guard + bit-identity, wall-clock "
+            "speedups recorded"
+        )
         stored = store.suites()
         print(f"stored trajectories under {store.root}: " + (", ".join(stored) or "none"))
         return 0
@@ -170,11 +203,23 @@ def _cmd_history(args) -> int:
     for record in records:
         gate = record["gate"]
         status = "PASS" if gate["passed"] else "FAIL"
+        seed = f"seed={record['seed']} " if "seed" in record else ""
         print(
-            f"record {record['key'][:12]} seed={record['seed']} "
+            f"record {record['key'][:12]} {seed}"
             f"code={record['environment']['code'][:12]} gate={status}"
         )
         for result in record["results"]:
+            if "speedup_ci" not in result:
+                measured = record.get("measured", {}).get(result["name"], {})
+                print(
+                    f"  {result['name']:<40} "
+                    f"compiles={result['symbolic_compiles']} "
+                    f"warm={result['warm_symbolic_compiles']} "
+                    f"cold x{measured.get('cold_speedup', 0.0):.2f} "
+                    f"warm x{measured.get('warm_speedup', 0.0):.2f} "
+                    f"identical={result['identical']}"
+                )
+                continue
             low, high = result["speedup_ci"]
             print(
                 f"  {result['name']:<40} x{result['speedup']:.3f} "

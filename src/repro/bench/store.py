@@ -80,16 +80,20 @@ class BenchStore:
     def records(self, suite: str) -> list:
         return self.load(suite)["records"]
 
-    def append(self, suite: str, record: dict) -> str:
+    def append(self, suite: str, record: dict, volatile=()) -> str:
         """Insert ``record`` (replacing any record with the same key);
         returns the record key.
 
         The key is the digest of the record *without* the key field, so a
         byte-identical rerun lands on — and is absorbed by — its own
-        previous entry.
+        previous entry.  Top-level fields named in ``volatile`` are stored
+        but excluded from the digest: wall-clock measurements jitter
+        between runs, and a suite that records them must still converge on
+        one trajectory record per (code, configuration) state instead of
+        appending a near-duplicate on every rerun.
         """
         body = {k: v for k, v in record.items() if k != "key"}
-        key = digest(body)
+        key = digest({k: v for k, v in body.items() if k not in set(volatile)})
         stamped = dict(body)
         stamped["key"] = key
         document = self.load(suite)

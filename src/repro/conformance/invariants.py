@@ -430,6 +430,69 @@ def _noise_median_convergence(ev: PointEvidence) -> list:
     return []
 
 
+@_register(
+    "symbolic-concrete-agreement",
+    "point",
+    "a fresh symbolic trace specialized at the point's batch is "
+    "bit-identical to the concrete compiler's plan (kernel stream, "
+    "roofline timings, timeline, allocation trace)",
+)
+def _symbolic_concrete_agreement(ev: PointEvidence) -> list:
+    # Imported here like the bench dependency above: repro.plan.symbolic
+    # imports the compiler stack, and conformance must stay importable
+    # on its own.
+    from repro.frameworks.registry import get_framework
+    from repro.plan import compiler as plan_compiler
+    from repro.plan.symbolic import (
+        SymbolicPlanSet,
+        TraceEscape,
+        plan_difference,
+    )
+
+    spec = get_model(ev.model)
+    framework = get_framework(ev.framework)
+    try:
+        symbolic = SymbolicPlanSet(spec, framework, ev.gpu).specialize(
+            ev.batch_size
+        )
+    except TraceEscape:
+        return []  # untraceable models use the concrete compiler anyway
+    concrete = plan_compiler.compile_graph(
+        spec.build(ev.batch_size), framework, ev.gpu
+    )
+    difference = plan_difference(symbolic, concrete)
+    if difference is not None:
+        return [
+            f"symbolic specialize diverges from the concrete compiler at "
+            f"{difference}"
+        ]
+    return []
+
+
+@_register(
+    "analytic-oom-agreement",
+    "point",
+    "the analytic max_batch_size (traced allocation expressions, zero "
+    "compiles) equals the searched boundary (compile every candidate, "
+    "catch OOM) over the model's batch ladder",
+)
+def _analytic_oom_agreement(ev: PointEvidence) -> list:
+    from repro.training.session import TrainingSession
+
+    analytic = TrainingSession(
+        ev.model, ev.framework, gpu=ev.gpu
+    ).max_batch_size()
+    searched = TrainingSession(
+        ev.model, ev.framework, gpu=ev.gpu, symbolic=False
+    ).max_batch_size(search=True)
+    if analytic != searched:
+        return [
+            f"analytic max_batch_size {analytic} != searched OOM boundary "
+            f"{searched}"
+        ]
+    return []
+
+
 # ----------------------------------------------------------------------
 # sweep scope
 

@@ -105,11 +105,14 @@ def _compute_payload(
     cpu: CPUSpec,
     check_memory: bool,
     sessions: dict | None = None,
+    symbolic: bool = True,
 ) -> dict:
     """Simulate one grid point and return its wire-format payload.
 
     ``sessions`` lets a chunk reuse one :class:`TrainingSession` per
-    (model, framework) across its batch sizes.
+    (model, framework) across its batch sizes — with ``symbolic`` (the
+    default) that session compiles symbolically once per guard region and
+    every batch in the sweep is a cheap specialization.
     """
     if spec.faults:
         return _compute_faulted_payload(spec)
@@ -117,7 +120,12 @@ def _compute_payload(
     session = sessions.get(key) if sessions is not None else None
     if session is None:
         session = TrainingSession(
-            spec.model, spec.framework, gpu=gpu, cpu=cpu, check_memory=check_memory
+            spec.model,
+            spec.framework,
+            gpu=gpu,
+            cpu=cpu,
+            check_memory=check_memory,
+            symbolic=symbolic,
         )
         if sessions is not None:
             sessions[key] = session
@@ -169,12 +177,14 @@ def _compute_faulted_payload(spec: PointSpec) -> dict:
     )
 
 
-def _pool_worker(chunk, gpu: GPUSpec, cpu: CPUSpec, check_memory: bool) -> list:
+def _pool_worker(
+    chunk, gpu: GPUSpec, cpu: CPUSpec, check_memory: bool, symbolic: bool = True
+) -> list:
     """Execute one ``[(grid_index, PointSpec), ...]`` chunk in a worker
     process; returns ``[(grid_index, payload), ...]``."""
     sessions: dict = {}
     return [
-        (index, _compute_payload(spec, gpu, cpu, check_memory, sessions))
+        (index, _compute_payload(spec, gpu, cpu, check_memory, sessions, symbolic))
         for index, spec in chunk
     ]
 
@@ -197,6 +207,11 @@ class SweepEngine:
             nothing can OOM (and the cache key is unaffected — memory
             checking changes *whether* a result exists, not its value,
             so cached metrics stay valid either way).
+        symbolic: forwarded to :class:`TrainingSession`; the default
+            compiles each (model, framework) symbolically once and
+            specializes per batch.  Results are bit-identical either way
+            (the differential harness proves it), so the cache key is
+            unaffected.
     """
 
     def __init__(
@@ -206,6 +221,7 @@ class SweepEngine:
         gpu: GPUSpec = QUADRO_P4000,
         cpu: CPUSpec = XEON_E5_2680,
         check_memory: bool = True,
+        symbolic: bool = True,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -214,6 +230,7 @@ class SweepEngine:
         self.gpu = gpu
         self.cpu = cpu
         self.check_memory = check_memory
+        self.symbolic = symbolic
         self._stats = EngineStats()
 
     @property
@@ -319,7 +336,12 @@ class SweepEngine:
         with executor:
             futures = {
                 executor.submit(
-                    _pool_worker, chunk, self.gpu, self.cpu, self.check_memory
+                    _pool_worker,
+                    chunk,
+                    self.gpu,
+                    self.cpu,
+                    self.check_memory,
+                    self.symbolic,
                 ): chunk
                 for chunk in chunks
             }
@@ -358,7 +380,12 @@ class SweepEngine:
                     (
                         index,
                         _compute_payload(
-                            spec, self.gpu, self.cpu, self.check_memory, sessions
+                            spec,
+                            self.gpu,
+                            self.cpu,
+                            self.check_memory,
+                            sessions,
+                            self.symbolic,
                         ),
                     )
                 )

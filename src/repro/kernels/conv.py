@@ -39,16 +39,19 @@ class ConvShape:
     stride_w: int = None
 
     def __post_init__(self) -> None:
-        if min(
-            self.batch,
-            self.in_channels,
-            self.out_channels,
-            self.in_h,
-            self.in_w,
-            self.kernel_h,
-            self.kernel_w,
-            self.stride,
-        ) <= 0:
+        # Per-field checks (not ``min(...) <= 0``): ``min`` compares the
+        # operands to each other, which would pin symbolic batch traces to
+        # needlessly tight guard regions.
+        if (
+            self.batch <= 0
+            or self.in_channels <= 0
+            or self.out_channels <= 0
+            or self.in_h <= 0
+            or self.in_w <= 0
+            or self.kernel_h <= 0
+            or self.kernel_w <= 0
+            or self.stride <= 0
+        ):
             raise ValueError(f"invalid convolution shape: {self}")
         if self.out_h <= 0 or self.out_w <= 0:
             raise ValueError(f"convolution produces empty output: {self}")
@@ -92,8 +95,11 @@ class ConvShape:
     @property
     def macs(self) -> float:
         """Multiply-accumulates of the direct algorithm."""
+        # ``* 1.0`` (not ``float()``) so symbolic batch dims trace through;
+        # the float conversion it performs is bit-identical.
         return (
-            float(self.output_elements)
+            self.output_elements
+            * 1.0
             * self.in_channels
             * self.kernel_h
             * self.kernel_w

@@ -26,7 +26,7 @@ def gemm(m: int, n: int, k: int, name: str = "magma_lds128_sgemm_kernel") -> Ker
     FLOPs: 2*m*n*k.  DRAM traffic assumes each operand is streamed once
     (cache-blocked implementation): A + B read, C written.
     """
-    if min(m, n, k) <= 0:
+    if m <= 0 or n <= 0 or k <= 0:
         raise ValueError(f"gemm dims must be positive, got m={m} n={n} k={k}")
     flops = 2.0 * m * n * k
     traffic = fp32_bytes(m * k + k * n + m * n)

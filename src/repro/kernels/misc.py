@@ -75,7 +75,7 @@ def ctc_loss(batch: int, time_steps: int, labels: int, vocab: int) -> Kernel:
     The alpha-beta dynamic program is sequential over time — intrinsically
     low parallelism, hence the very low compute ceiling.
     """
-    if min(batch, time_steps, labels, vocab) <= 0:
+    if batch <= 0 or time_steps <= 0 or labels <= 0 or vocab <= 0:
         raise ValueError("ctc loss needs positive dims")
     flops = 10.0 * batch * time_steps * labels
     traffic = fp32_bytes(batch * time_steps * (vocab + 2.0 * labels))

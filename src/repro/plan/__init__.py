@@ -13,7 +13,10 @@ an XLA-style compile-then-execute split:
 - :mod:`repro.plan.cache` memoizes plans so each ``(model, framework,
   batch, gpu)`` point compiles exactly once per session;
 - :mod:`repro.plan.transform` expresses the optimization what-ifs as
-  plan -> plan rewrites with checked conservation contracts.
+  plan -> plan rewrites with checked conservation contracts;
+- :mod:`repro.plan.symbolic` compiles once per (model, framework, GPU)
+  with a symbolic batch and specializes per batch — bit-identical to
+  :func:`~repro.plan.compiler.compile_graph` inside each guard region.
 """
 
 from repro.plan.cache import PlanCache, PlanCacheStats
@@ -25,6 +28,18 @@ from repro.plan.compiler import (
     reduced_offload_allocations,
 )
 from repro.plan.executor import ExecutionReplay, replay
+from repro.plan.symbolic import (
+    GuardViolation,
+    SymbolicPlan,
+    SymbolicPlanSet,
+    TraceEscape,
+    compile_symbolic,
+    plan_difference,
+    plan_fingerprint,
+    shared_plan_set,
+    shared_plan_sets_clear,
+)
+from repro.plan.symexpr import NotPolynomial, Polynomial, SymTracer, SymValue
 from repro.plan.transform import (
     FeatureMapOffloadTransform,
     FusedRNNTransform,
@@ -40,15 +55,28 @@ __all__ = [
     "ExecutionReplay",
     "FeatureMapOffloadTransform",
     "FusedRNNTransform",
+    "GuardViolation",
     "HalfPrecisionStorageTransform",
+    "NotPolynomial",
     "PlanCache",
     "PlanCacheStats",
     "PlanTransform",
+    "Polynomial",
     "ResNetDepthTransform",
+    "SymTracer",
+    "SymValue",
+    "SymbolicPlan",
+    "SymbolicPlanSet",
+    "TraceEscape",
     "TransformContractError",
     "compile_graph",
+    "compile_symbolic",
     "lower_kernels",
+    "plan_difference",
+    "plan_fingerprint",
     "record_allocations",
     "reduced_offload_allocations",
     "replay",
+    "shared_plan_set",
+    "shared_plan_sets_clear",
 ]

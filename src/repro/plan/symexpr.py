@@ -1,0 +1,719 @@
+"""Symbolic integer/float expressions for plan compilation.
+
+This module is the ``sizevars.py`` layer of the plan stack: a tiny tracer
+value (:class:`SymValue`) stands in for the mini-batch size while the
+*existing* model builders, kernel constructors, framework specialization
+and roofline timing run unchanged.  Arithmetic on the value records an
+operation DAG (operator, exact operand order, original Python numeric
+types); comparisons and truth tests resolve against a concrete *hint*
+value and record a :class:`Guard`, exactly like TorchInductor's guarded
+size variables.  Substituting a batch size replays the recorded operations
+through the :mod:`operator` module, so within a guard region the result is
+bit-for-bit what the concrete code would have computed — not an
+approximation of it.
+
+Two views of a traced expression exist:
+
+- :func:`evaluate` — the replay path.  Exact by construction; this is what
+  plan specialization uses.
+- :func:`as_polynomial` — the analytic path.  Extracts a polynomial with
+  exact :class:`fractions.Fraction` coefficients when the expression is
+  polynomial in the symbol (floor-division or division *by* the symbol
+  raise :class:`NotPolynomial`).  This is what closed-form OOM boundary
+  solving and monotonicity analysis use; it is never used for
+  specialization, so its rational arithmetic cannot introduce drift.
+"""
+
+from __future__ import annotations
+
+import operator
+from fractions import Fraction
+
+
+class TraceEscape(RuntimeError):
+    """The traced code performed an operation the tracer cannot represent
+    symbolically (``int()``, ``str()``, hashing, ...).  Callers fall back
+    to the concrete compiler — correctness is never at risk, only reuse."""
+
+
+class GuardViolation(RuntimeError):
+    """A substitution value disagrees with a guard recorded at trace time;
+    the expression DAG is only valid inside its guard region."""
+
+
+class NotPolynomial(ValueError):
+    """The expression is not a polynomial in the symbol (e.g. it contains
+    a floor-division or a division by a symbolic subexpression)."""
+
+
+_BIN_OPS = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "truediv": operator.truediv,
+    "floordiv": operator.floordiv,
+    "mod": operator.mod,
+    "pow": operator.pow,
+}
+
+_UNARY_OPS = {"neg": operator.neg}
+
+_CMP_OPS = {
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "eq": operator.eq,
+    "ne": operator.ne,
+}
+
+_CMP_SYMBOLS = {
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+}
+
+#: Concrete numeric types the tracer lifts into constants.  ``bool`` is an
+#: ``int`` subclass and arithmetic on it matches ``int`` semantics.
+_NUMERIC = (int, float, Fraction)
+
+
+# ----------------------------------------------------------------------
+# expression nodes (hash-consed per tracer)
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base node of the traced operation DAG."""
+
+    __slots__ = ()
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return repr(self.value)
+
+
+class Sym(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self):
+        return f"(-{self.operand!r})"
+
+
+class Binop(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    _GLYPH = {
+        "add": "+",
+        "sub": "-",
+        "mul": "*",
+        "truediv": "/",
+        "floordiv": "//",
+        "mod": "%",
+        "pow": "**",
+    }
+
+    def __init__(self, op, lhs, rhs):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self):
+        return f"({self.lhs!r} {self._GLYPH[self.op]} {self.rhs!r})"
+
+
+def evaluate(node: Expr, value, cache: dict | None = None):
+    """Replay the operation DAG rooted at ``node`` with the symbol bound
+    to ``value``.
+
+    The replay applies the *same* Python operators to the *same* operand
+    types in the same order the concrete code did, so the result is
+    bit-identical to the untraced computation.  ``cache`` memoizes by node
+    identity — pass one dict across many evaluations of the same trace so
+    shared subexpressions (per-layer element counts, running sums) are
+    computed once.
+    """
+    if cache is None:
+        cache = {}
+    stack = [node]
+    while stack:
+        top = stack[-1]
+        key = id(top)
+        if key in cache:
+            stack.pop()
+            continue
+        kind = type(top)
+        if kind is Const:
+            cache[key] = top.value
+            stack.pop()
+        elif kind is Sym:
+            cache[key] = value
+            stack.pop()
+        elif kind is Unary:
+            operand_key = id(top.operand)
+            if operand_key in cache:
+                cache[key] = _UNARY_OPS[top.op](cache[operand_key])
+                stack.pop()
+            else:
+                stack.append(top.operand)
+        else:  # Binop
+            lhs_key, rhs_key = id(top.lhs), id(top.rhs)
+            ready = True
+            if rhs_key not in cache:
+                stack.append(top.rhs)
+                ready = False
+            if lhs_key not in cache:
+                stack.append(top.lhs)
+                ready = False
+            if ready:
+                cache[key] = _BIN_OPS[top.op](cache[lhs_key], cache[rhs_key])
+                stack.pop()
+    return cache[id(node)]
+
+
+# ----------------------------------------------------------------------
+# guards
+# ----------------------------------------------------------------------
+
+
+class Guard:
+    """One comparison (or truth test) resolved against the hint at trace
+    time.  The traced DAG is valid exactly for the values where every
+    recorded guard re-resolves to the same outcome."""
+
+    __slots__ = ("lhs", "op", "rhs", "outcome")
+
+    def __init__(self, lhs: Expr, op: str, rhs: Expr | None, outcome: bool):
+        self.lhs = lhs
+        self.op = op  # a _CMP_OPS key, or "truth"
+        self.rhs = rhs
+        self.outcome = outcome
+
+    def holds(self, value, cache: dict | None = None) -> bool:
+        left = evaluate(self.lhs, value, cache)
+        if self.op == "truth":
+            return bool(left) == self.outcome
+        right = evaluate(self.rhs, value, cache)
+        return _CMP_OPS[self.op](left, right) == self.outcome
+
+    def describe(self) -> str:
+        if self.op == "truth":
+            return f"bool({self.lhs!r}) is {self.outcome}"
+        relation = f"{self.lhs!r} {_CMP_SYMBOLS[self.op]} {self.rhs!r}"
+        return relation if self.outcome else f"not ({relation})"
+
+    def __repr__(self):
+        return f"Guard({self.describe()})"
+
+
+# ----------------------------------------------------------------------
+# the tracer
+# ----------------------------------------------------------------------
+
+
+class SymTracer:
+    """Owns one symbol, the interned node table, and the guard list of one
+    trace.  Nodes are hash-consed so identical subexpressions share one
+    node (one evaluation, one guard identity)."""
+
+    def __init__(self, name: str = "batch", hint: int = 32):
+        if not isinstance(hint, int) or isinstance(hint, bool):
+            raise TypeError(f"hint must be an int, got {type(hint).__name__}")
+        self.name = name
+        self.hint = hint
+        self._nodes: dict = {}
+        self.symbol = Sym(name)
+        self._nodes[("s", name)] = self.symbol
+        self.guards: list = []
+        self._guard_keys: set = set()
+
+    def value(self) -> "SymValue":
+        """The symbolic stand-in to feed through concrete code."""
+        return SymValue(self, self.symbol, self.hint)
+
+    # -- node interning -------------------------------------------------
+
+    def const(self, value) -> Const:
+        # The type sits in the key: Const(4) and Const(4.0) hash equal but
+        # must stay distinct nodes (replay preserves operand types).
+        key = ("c", type(value), value)
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._nodes[key] = Const(value)
+        return node
+
+    def binop(self, op: str, lhs: Expr, rhs: Expr) -> Binop:
+        key = ("b", op, id(lhs), id(rhs))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._nodes[key] = Binop(op, lhs, rhs)
+        return node
+
+    def unary(self, op: str, operand: Expr) -> Unary:
+        key = ("u", op, id(operand))
+        node = self._nodes.get(key)
+        if node is None:
+            node = self._nodes[key] = Unary(op, operand)
+        return node
+
+    # -- guard recording ------------------------------------------------
+
+    def add_guard(self, lhs: Expr, op: str, rhs: Expr | None, outcome: bool) -> None:
+        key = (id(lhs), op, id(rhs), outcome)
+        if key in self._guard_keys:
+            return
+        self._guard_keys.add(key)
+        self.guards.append(Guard(lhs, op, rhs, outcome))
+
+    def guards_hold(self, value, cache: dict | None = None) -> bool:
+        if cache is None:
+            cache = {}
+        return all(guard.holds(value, cache) for guard in self.guards)
+
+    def first_failing_guard(self, value):
+        cache: dict = {}
+        for guard in self.guards:
+            if not guard.holds(value, cache):
+                return guard
+        return None
+
+
+# ----------------------------------------------------------------------
+# the tracer value
+# ----------------------------------------------------------------------
+
+
+def _lift(tracer: SymTracer, other):
+    """``other`` as ``(node, hint)`` under ``tracer``, or None when it is
+    not liftable (the dunder then returns NotImplemented)."""
+    if isinstance(other, SymValue):
+        if other.tracer is not tracer:
+            raise TraceEscape("mixing symbolic values from different traces")
+        return other.node, other.hint
+    if isinstance(other, _NUMERIC):
+        return tracer.const(other), other
+    return None
+
+
+def _binary_dunder(opname):
+    fn = _BIN_OPS[opname]
+
+    def forward(self, other):
+        lifted = _lift(self.tracer, other)
+        if lifted is None:
+            return NotImplemented
+        node, hint = lifted
+        return SymValue(
+            self.tracer,
+            self.tracer.binop(opname, self.node, node),
+            fn(self.hint, hint),
+        )
+
+    def reverse(self, other):
+        lifted = _lift(self.tracer, other)
+        if lifted is None:
+            return NotImplemented
+        node, hint = lifted
+        return SymValue(
+            self.tracer,
+            self.tracer.binop(opname, node, self.node),
+            fn(hint, self.hint),
+        )
+
+    return forward, reverse
+
+
+def _compare_dunder(opname):
+    fn = _CMP_OPS[opname]
+
+    def method(self, other):
+        lifted = _lift(self.tracer, other)
+        if lifted is None:
+            return NotImplemented
+        node, hint = lifted
+        outcome = fn(self.hint, hint)
+        self.tracer.add_guard(self.node, opname, node, outcome)
+        return outcome
+
+    return method
+
+
+def _escape(operation):
+    def method(self, *args, **kwargs):
+        raise TraceEscape(
+            f"{operation} on a symbolic value; the trace cannot stay exact"
+        )
+
+    return method
+
+
+class SymValue:
+    """A number-like tracer value.
+
+    Arithmetic builds DAG nodes; comparisons and ``bool()`` resolve via
+    the hint and record guards (so ``min``/``max``/branches in traced code
+    work unchanged and their decisions are pinned); coercions that would
+    lose the symbol (``int``, ``float``, ``str``, hashing) raise
+    :class:`TraceEscape`.
+    """
+
+    __slots__ = ("tracer", "node", "hint")
+
+    def __init__(self, tracer: SymTracer, node: Expr, hint):
+        self.tracer = tracer
+        self.node = node
+        self.hint = hint
+
+    # arithmetic ---------------------------------------------------------
+    __add__, __radd__ = _binary_dunder("add")
+    __sub__, __rsub__ = _binary_dunder("sub")
+    __mul__, __rmul__ = _binary_dunder("mul")
+    __truediv__, __rtruediv__ = _binary_dunder("truediv")
+    __floordiv__, __rfloordiv__ = _binary_dunder("floordiv")
+    __mod__, __rmod__ = _binary_dunder("mod")
+    __pow__, __rpow__ = _binary_dunder("pow")
+
+    def __neg__(self):
+        return SymValue(self.tracer, self.tracer.unary("neg", self.node), -self.hint)
+
+    def __pos__(self):
+        return self
+
+    def __abs__(self):
+        # The comparison records the sign guard; either branch is exact.
+        if self >= 0:
+            return self
+        return -self
+
+    # comparisons (guard-recording) --------------------------------------
+    __lt__ = _compare_dunder("lt")
+    __le__ = _compare_dunder("le")
+    __gt__ = _compare_dunder("gt")
+    __ge__ = _compare_dunder("ge")
+    __eq__ = _compare_dunder("eq")
+    __ne__ = _compare_dunder("ne")
+
+    def __bool__(self):
+        outcome = bool(self.hint)
+        self.tracer.add_guard(self.node, "truth", None, outcome)
+        return outcome
+
+    # escapes ------------------------------------------------------------
+    __hash__ = _escape("hashing")
+    __int__ = _escape("int()")
+    __index__ = _escape("index coercion")
+    __float__ = _escape("float()")
+    __str__ = _escape("str()")
+    __format__ = _escape("string formatting")
+    __round__ = _escape("round()")
+    __trunc__ = _escape("trunc()")
+    __floor__ = _escape("floor()")
+    __ceil__ = _escape("ceil()")
+
+    def __repr__(self):
+        # repr stays usable for debugging; str()/format() raise because
+        # they could silently bake the hint into traced artifacts.
+        return f"SymValue({self.node!r}, hint={self.hint!r})"
+
+
+# ----------------------------------------------------------------------
+# the linear tape (fast batch substitution)
+# ----------------------------------------------------------------------
+
+
+class LinearTape:
+    """A tracer's DAG flattened to one instruction list.
+
+    Interning creates operands before their parents, so the node table's
+    insertion order is already topological: one pass over it yields a slot
+    per node and an instruction per operation.  ``run(value)`` then
+    replays the whole trace as a tight loop over preallocated slots —
+    every shared subexpression computed exactly once — which is what makes
+    ``specialize`` cheaper than recompiling.  The operations applied are
+    the same :mod:`operator` functions :func:`evaluate` uses, so the two
+    paths agree bit-for-bit."""
+
+    __slots__ = ("_base", "_sym_slots", "_instrs", "_slot_of", "_guards")
+
+    def __init__(self, tracer: SymTracer):
+        nodes = list(tracer._nodes.values())
+        slot_of = {id(node): index for index, node in enumerate(nodes)}
+        base = [None] * len(nodes)
+        sym_slots = []
+        instrs = []
+        for index, node in enumerate(nodes):
+            kind = type(node)
+            if kind is Const:
+                base[index] = node.value
+            elif kind is Sym:
+                sym_slots.append(index)
+            elif kind is Unary:
+                instrs.append(
+                    (index, _UNARY_OPS[node.op], slot_of[id(node.operand)], -1)
+                )
+            else:
+                instrs.append(
+                    (
+                        index,
+                        _BIN_OPS[node.op],
+                        slot_of[id(node.lhs)],
+                        slot_of[id(node.rhs)],
+                    )
+                )
+        self._base = base
+        self._sym_slots = sym_slots
+        self._instrs = instrs
+        self._slot_of = slot_of
+        self._guards = [
+            (
+                slot_of[id(guard.lhs)],
+                None if guard.op == "truth" else _CMP_OPS[guard.op],
+                -1 if guard.rhs is None else slot_of[id(guard.rhs)],
+                guard.outcome,
+            )
+            for guard in tracer.guards
+        ]
+
+    def slot(self, value: SymValue | Expr) -> int:
+        node = value.node if isinstance(value, SymValue) else value
+        return self._slot_of[id(node)]
+
+    def run(self, value) -> list:
+        """All node values at ``value``, indexed by slot."""
+        slots = self._base.copy()
+        for index in self._sym_slots:
+            slots[index] = value
+        for out, fn, a, b in self._instrs:
+            slots[out] = fn(slots[a]) if b < 0 else fn(slots[a], slots[b])
+        return slots
+
+    def guards_hold(self, slots: list) -> bool:
+        for lhs, fn, rhs, outcome in self._guards:
+            if fn is None:
+                if bool(slots[lhs]) != outcome:
+                    return False
+            elif fn(slots[lhs], slots[rhs]) != outcome:
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# exact polynomials (the analytic view)
+# ----------------------------------------------------------------------
+
+
+class Polynomial:
+    """A univariate polynomial with exact ``Fraction`` coefficients,
+    stored sparsely as ``{degree: coefficient}``."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs=None):
+        cleaned: dict = {}
+        for degree, coeff in dict(coeffs or {}).items():
+            fraction = Fraction(coeff)
+            if fraction:
+                cleaned[int(degree)] = fraction
+        self.coeffs = cleaned
+
+    @classmethod
+    def constant(cls, value) -> "Polynomial":
+        return cls({0: Fraction(value)})
+
+    @classmethod
+    def symbol(cls) -> "Polynomial":
+        return cls({1: Fraction(1)})
+
+    @property
+    def degree(self) -> int:
+        return max(self.coeffs, default=0)
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def coefficient(self, degree: int) -> Fraction:
+        return self.coeffs.get(degree, Fraction(0))
+
+    def __add__(self, other):
+        other = _as_poly_operand(other)
+        if other is None:
+            return NotImplemented
+        merged = dict(self.coeffs)
+        for degree, coeff in other.coeffs.items():
+            merged[degree] = merged.get(degree, Fraction(0)) + coeff
+        return Polynomial(merged)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        return Polynomial({d: -c for d, c in self.coeffs.items()})
+
+    def __sub__(self, other):
+        other = _as_poly_operand(other)
+        if other is None:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other):
+        other = _as_poly_operand(other)
+        if other is None:
+            return NotImplemented
+        return other + (-self)
+
+    def __mul__(self, other):
+        other = _as_poly_operand(other)
+        if other is None:
+            return NotImplemented
+        product: dict = {}
+        for da, ca in self.coeffs.items():
+            for db, cb in other.coeffs.items():
+                degree = da + db
+                product[degree] = product.get(degree, Fraction(0)) + ca * cb
+        return Polynomial(product)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other):
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.coeffs == other.coeffs
+
+    def __hash__(self):
+        return hash(frozenset(self.coeffs.items()))
+
+    def evaluate(self, value) -> Fraction:
+        """Exact evaluation at a rational point."""
+        x = Fraction(value)
+        result = Fraction(0)
+        for degree, coeff in self.coeffs.items():
+            result += coeff * x**degree
+        return result
+
+    @property
+    def has_nonnegative_coefficients(self) -> bool:
+        """Sufficient condition for the polynomial to be nondecreasing on
+        ``x >= 0`` (every memory/FLOP expression in the repo satisfies it)."""
+        return all(coeff >= 0 for coeff in self.coeffs.values())
+
+    def __repr__(self):
+        if not self.coeffs:
+            return "Polynomial(0)"
+        terms = []
+        for degree in sorted(self.coeffs, reverse=True):
+            coeff = self.coeffs[degree]
+            if degree == 0:
+                terms.append(f"{coeff}")
+            elif degree == 1:
+                terms.append(f"{coeff}*b")
+            else:
+                terms.append(f"{coeff}*b^{degree}")
+        return "Polynomial(" + " + ".join(terms) + ")"
+
+
+def _as_poly_operand(other):
+    if isinstance(other, Polynomial):
+        return other
+    if isinstance(other, _NUMERIC):
+        return Polynomial.constant(other)
+    return None
+
+
+def as_polynomial(node) -> Polynomial:
+    """The exact polynomial (in the trace symbol) an expression computes.
+
+    Accepts an :class:`Expr`, a :class:`SymValue`, or a plain number.
+    Division by a constant becomes multiplication by its exact reciprocal;
+    floor-division, modulo, division by a symbolic subexpression, and
+    non-integer powers raise :class:`NotPolynomial`.
+    """
+    if isinstance(node, SymValue):
+        node = node.node
+    if isinstance(node, _NUMERIC):
+        return Polynomial.constant(node)
+    results: dict = {}
+    stack = [node]
+    while stack:
+        top = stack[-1]
+        key = id(top)
+        if key in results:
+            stack.pop()
+            continue
+        kind = type(top)
+        if kind is Const:
+            if isinstance(top.value, bool) or not isinstance(top.value, _NUMERIC):
+                raise NotPolynomial(f"non-numeric constant {top.value!r}")
+            results[key] = Polynomial.constant(top.value)
+            stack.pop()
+        elif kind is Sym:
+            results[key] = Polynomial.symbol()
+            stack.pop()
+        elif kind is Unary:
+            operand_key = id(top.operand)
+            if operand_key in results:
+                results[key] = -results[operand_key]
+                stack.pop()
+            else:
+                stack.append(top.operand)
+        else:  # Binop
+            lhs_key, rhs_key = id(top.lhs), id(top.rhs)
+            ready = True
+            if rhs_key not in results:
+                stack.append(top.rhs)
+                ready = False
+            if lhs_key not in results:
+                stack.append(top.lhs)
+                ready = False
+            if not ready:
+                continue
+            lhs, rhs = results[lhs_key], results[rhs_key]
+            if top.op == "add":
+                results[key] = lhs + rhs
+            elif top.op == "sub":
+                results[key] = lhs - rhs
+            elif top.op == "mul":
+                results[key] = lhs * rhs
+            elif top.op == "truediv":
+                if rhs.degree > 0:
+                    raise NotPolynomial("division by a symbolic expression")
+                divisor = rhs.coefficient(0)
+                if divisor == 0:
+                    raise NotPolynomial("division by zero constant")
+                results[key] = lhs * Polynomial.constant(1 / divisor)
+            elif top.op == "pow":
+                if rhs.degree > 0:
+                    raise NotPolynomial("symbolic exponent")
+                exponent = rhs.coefficient(0)
+                if exponent.denominator != 1 or exponent < 0:
+                    raise NotPolynomial(f"non-natural exponent {exponent}")
+                power = Polynomial.constant(1)
+                for _ in range(int(exponent)):
+                    power = power * lhs
+                results[key] = power
+            else:  # floordiv, mod
+                raise NotPolynomial(f"{top.op} is not polynomial")
+            stack.pop()
+    return results[id(node)]

@@ -41,6 +41,7 @@ from repro.observability.tracer import trace_span
 from repro.plan import compiler as plan_compiler
 from repro.plan.cache import PlanCache
 from repro.plan.compiled import CompiledPlan
+from repro.plan.symbolic import SymbolicPlanSet, TraceEscape, shared_plan_set
 
 #: Live activation-gradient working set, as a fraction of the stashed
 #: forward feature maps (gradient maps are produced and consumed during the
@@ -116,6 +117,7 @@ class TrainingSession:
         gpu: GPUSpec = QUADRO_P4000,
         cpu: CPUSpec = XEON_E5_2680,
         check_memory: bool = True,
+        symbolic: bool = True,
     ):
         self.spec: ModelSpec = get_model(model) if isinstance(model, str) else model
         self.framework: Framework = get_framework(framework)
@@ -127,10 +129,13 @@ class TrainingSession:
         self.gpu = gpu
         self.cpu = cpu
         self.check_memory = check_memory
+        self.symbolic = symbolic
         self._roofline = RooflineModel(gpu)
         self._dataset = get_dataset(self.spec.dataset)
         self._pipeline = DataPipelineModel(self._dataset)
         self._plans = PlanCache()
+        self._symbolic_sets: dict = {}
+        self._symbolic_broken = False
 
     # ------------------------------------------------------------------
     # compilation
@@ -148,17 +153,64 @@ class TrainingSession:
 
         The memory-model constants are compile inputs (the allocation
         trace bakes them in), so they join the cache key — ablations that
-        patch them get fresh plans instead of stale traces."""
+        patch them get fresh plans instead of stale traces.
+
+        With ``symbolic`` (the default) the plan comes from the session's
+        :class:`~repro.plan.symbolic.SymbolicPlanSet`: one traced compile
+        per guard region, bit-identical cheap specializations for every
+        batch inside it.  Models the tracer cannot keep exact fall back to
+        the concrete compiler transparently."""
         batch = batch_size if batch_size is not None else self.spec.reference_batch
         return self._plans.get(
             (int(batch), GRADIENT_MAP_FACTOR, _INPUT_STAGING_BUFFERS),
-            lambda: plan_compiler.compile_graph(
-                self.spec.build(batch),
+            lambda: self._build_plan(batch),
+        )
+
+    def _build_plan(self, batch) -> CompiledPlan:
+        """Plan-cache factory: symbolic specialize when possible, the
+        concrete compiler otherwise (and for models that escape the
+        tracer)."""
+        if self.symbolic and not self._symbolic_broken:
+            try:
+                return self._symbolic_set().specialize(int(batch))
+            except TraceEscape:
+                plan = self._concrete_plan(batch)
+                # The concrete pipeline handled what the tracer could not:
+                # this model genuinely escapes (an error path would have
+                # raised above), so stop re-trying the symbolic path.
+                self._symbolic_broken = True
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter(
+                        "plan_symbolic_fallbacks_total", {"model": self.spec.key}
+                    ).inc()
+                return plan
+        return self._concrete_plan(batch)
+
+    def _concrete_plan(self, batch) -> CompiledPlan:
+        return plan_compiler.compile_graph(
+            self.spec.build(batch),
+            self.framework,
+            self.gpu,
+            roofline=self._roofline,
+        )
+
+    def _symbolic_set(self) -> SymbolicPlanSet:
+        """The session's symbolic plans, keyed by the same memory-model
+        constants as the plan cache (they are baked into traced
+        allocation expressions too)."""
+        key = (GRADIENT_MAP_FACTOR, _INPUT_STAGING_BUFFERS)
+        sset = self._symbolic_sets.get(key)
+        if sset is None:
+            sset = shared_plan_set(
+                self.spec,
                 self.framework,
                 self.gpu,
                 roofline=self._roofline,
-            ),
-        )
+                constants=key,
+            )
+            self._symbolic_sets[key] = sset
+        return sset
 
     def _iteration_kernels(self, graph: LayerGraph) -> list:
         """The specialized kernel stream of one iteration (delegates to
@@ -323,13 +375,25 @@ class TrainingSession:
             memory=memory,
         )
 
-    def max_batch_size(self, candidates=None) -> int:
-        """Largest sweep batch size that fits in GPU memory.  Each probe's
-        plan is cached, so a following ``run_iteration`` at the winning
-        batch compiles nothing."""
+    def max_batch_size(self, candidates=None, *, search: bool = False) -> int:
+        """Largest sweep batch size that fits in GPU memory.
+
+        The default path is analytic: the traced allocation expressions of
+        the session's symbolic plan are evaluated per candidate and
+        replayed through the memory allocator — no plan compiles at all.
+        ``search=True`` forces the old probe loop (compile each candidate,
+        catch OOM), kept as the differential oracle the conformance
+        invariant checks the analytic answer against."""
+        sizes = candidates if candidates is not None else self.spec.batch_sizes
+        if not search and self.symbolic and not self._symbolic_broken:
+            try:
+                return self._symbolic_set().max_batch_size(
+                    sizes, self.gpu.memory_bytes
+                )
+            except TraceEscape:
+                pass  # fall through to the searched loop
         from repro.hardware.memory import OutOfMemoryError
 
-        sizes = candidates if candidates is not None else self.spec.batch_sizes
         best = 0
         for batch in sorted(sizes):
             try:

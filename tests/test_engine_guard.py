@@ -97,9 +97,10 @@ class TestAtMostOneSessionPerMissingPoint:
 
 @pytest.fixture
 def counted_compiles(monkeypatch):
-    """Counts every graph compile (build + lower + time + replay).  The
-    session and the plan transforms both call through the module reference,
-    so patching the module attribute intercepts every compile."""
+    """Counts every *concrete* graph compile (build + lower + time +
+    replay).  The session and the plan transforms both call through the
+    module reference, so patching the module attribute intercepts every
+    compile."""
     calls = []
     original = plan_compiler.compile_graph
 
@@ -111,45 +112,84 @@ def counted_compiles(monkeypatch):
     return calls
 
 
+@pytest.fixture
+def counted_builds(monkeypatch):
+    """Counts every plan-cache factory call (symbolic specialize or
+    concrete compile) — the unit of per-point plan work."""
+    calls = []
+    original = TrainingSession._build_plan
+
+    def counting(self, batch):
+        calls.append((self.spec.key, self.framework.key, int(batch)))
+        return original(self, batch)
+
+    monkeypatch.setattr(TrainingSession, "_build_plan", counting)
+    return calls
+
+
 class TestOneCompilePerPoint:
     """The plan cache's core promise: a warm session never re-lowers a
     point, no matter which consumer asks next."""
 
-    def test_session_consumers_share_one_compile_per_batch(self, counted_compiles):
+    def test_session_consumers_share_one_build_per_batch(self, counted_builds):
         from repro.profiling import timeline_for
 
         session = TrainingSession("resnet-50", "mxnet")
         best = session.max_batch_size()
-        probes = len(counted_compiles)
-        assert probes > 0
-        assert len(set(counted_compiles)) == probes, "one compile per probed batch"
-
+        assert counted_builds == [], (
+            "the analytic OOM probe evaluates traced expressions, it "
+            "builds no plans"
+        )
         session.run_iteration(best)
         session.profile_memory(best)
         timeline_for(session, best)
         session.run_iteration(best)
-        assert len(counted_compiles) == probes, (
-            "warm consumers must add zero compiles"
+        assert len(counted_builds) == 1, (
+            "warm consumers must add zero plan builds"
         )
-        assert session.plan_cache.stats.compile_count == probes
+        assert session.plan_cache.stats.compile_count == 1
 
-    def test_suite_sweep_compiles_each_point_exactly_once(self, counted_compiles):
+    def test_searched_oom_probe_still_compiles_once_per_batch(
+        self, counted_builds
+    ):
+        session = TrainingSession("resnet-50", "mxnet")
+        best = session.max_batch_size(search=True)
+        probes = len(counted_builds)
+        assert probes > 0
+        assert len(set(counted_builds)) == probes, "one build per probed batch"
+        session.run_iteration(best)
+        assert len(counted_builds) == probes, (
+            "the searched probe's plans stay cached for later consumers"
+        )
+
+    def test_suite_sweep_builds_each_point_exactly_once(self, counted_builds):
         from repro.core.suite import standard_suite
 
         suite = standard_suite()
         points = suite.sweep("resnet-50", "mxnet")
-        assert len(counted_compiles) == len(points)
-        assert len(set(counted_compiles)) == len(counted_compiles)
+        assert len(counted_builds) == len(points)
+        assert len(set(counted_builds)) == len(counted_builds)
 
-    def test_optimization_whatifs_reuse_the_session_plan(self, counted_compiles):
+    def test_symbolic_sweep_never_concrete_compiles(
+        self, counted_builds, counted_compiles
+    ):
+        from repro.core.suite import standard_suite
+
+        standard_suite().sweep("resnet-50", "mxnet")
+        assert len(counted_builds) > 0
+        assert counted_compiles == [], (
+            "a symbolic sweep must not fall back to the concrete compiler"
+        )
+
+    def test_optimization_whatifs_reuse_the_session_plan(self, counted_builds):
         from repro.optimizations.offload import FeatureMapOffload
 
         session = TrainingSession("resnet-50", "mxnet")
         offload = FeatureMapOffload(session)
         offload.plan(16, 0.5)
-        assert len(counted_compiles) == 1
+        assert len(counted_builds) == 1
         offload.plan(16, 0.8)  # same batch: cached plan, no recompile
-        assert len(counted_compiles) == 1
+        assert len(counted_builds) == 1
 
 
 class TestInstrumentationLintCoversEngine:

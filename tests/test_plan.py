@@ -5,7 +5,7 @@ import pytest
 
 from repro.hardware.memory import AllocationTag, OutOfMemoryError
 from repro.observability.runner import telemetry
-from repro.plan import PlanCache, compile_graph
+from repro.plan import PlanCache, compile_graph, shared_plan_sets_clear
 from repro.plan.executor import replay
 from repro.profiling import timeline_for
 from repro.training.session import TrainingSession
@@ -113,13 +113,28 @@ class TestPlanCache:
         assert [span.attributes["outcome"] for span in lookups] == ["miss", "hit"]
         hit = lookups[1]
         assert hit.find("plan.compile") is None  # the hit never recompiles
+        assert hit.find("plan.symbolic.specialize") is None
         snap = run.metrics.snapshot()
         assert snap["plan_cache_hits_total"] == 1
         assert snap["plan_cache_misses_total"] == 1
 
     def test_compile_span_nests_under_miss_lookup(self):
+        shared_plan_sets_clear()  # force a cold trace so the compile span appears
         with telemetry() as run:
             TrainingSession("resnet-50", "mxnet").compile(16)
+        lookup = run.tracer.roots[0]
+        assert lookup.name == "plan.cache.lookup"
+        assert lookup.attributes["outcome"] == "miss"
+        specialize_span = lookup.find("plan.symbolic.specialize")
+        assert specialize_span is not None
+        assert specialize_span.attributes["batch_size"] == 16
+        # The first specialize traces the symbolic variant inside the span.
+        assert specialize_span.find("plan.symbolic.compile") is not None
+        assert run.metrics.snapshot()["plan_cache_misses_total"] == 1
+
+    def test_concrete_session_compile_span_nests_under_miss_lookup(self):
+        with telemetry() as run:
+            TrainingSession("resnet-50", "mxnet", symbolic=False).compile(16)
         lookup = run.tracer.roots[0]
         assert lookup.name == "plan.cache.lookup"
         assert lookup.attributes["outcome"] == "miss"

@@ -1,0 +1,226 @@
+"""Property-based tests for the symbolic expression layer.
+
+Hand-rolled, seeded generators (the container has no Hypothesis) drive
+four algebraic properties the differential harness relies on:
+
+- **substitution homomorphism**: a random arithmetic program applied to a
+  ``SymValue`` and to a plain number in lockstep evaluates identically —
+  the trace replays the exact operators on the exact operand types, so
+  ``evaluate(trace(x), b) == program(b)`` bit for bit, including through
+  ``//`` and ``%``, on every batch (not just the hint).
+- **ring axioms**: :class:`~repro.plan.symexpr.Polynomial` with random
+  ``Fraction`` coefficients is a commutative ring — compared by exact
+  coefficient equality, never by tolerance.
+- **rational exactness**: ``as_polynomial`` turns division by constants
+  into exact reciprocals; evaluating the polynomial at an integer agrees
+  with a ``Fraction``-shadowed run of the same program, with zero float
+  drift even over hundreds of accumulated thirds.
+- **memory monotonicity**: the traced allocation footprint is
+  nondecreasing in batch — the property that makes the analytic OOM
+  bracketing exact.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.frameworks import get_framework
+from repro.hardware.devices import QUADRO_P4000
+from repro.models.registry import get_model
+from repro.plan.symexpr import (
+    LinearTape,
+    Polynomial,
+    SymTracer,
+    as_polynomial,
+    evaluate,
+)
+from repro.plan.symbolic import shared_plan_set
+
+SEED = 20260807
+
+
+def _random_program(rng, steps: int):
+    """A random straight-line arithmetic program as (op, operand) pairs.
+
+    Operands are constants or back-references to earlier intermediate
+    values (``("ref", i)``), so generated DAGs share subexpressions the
+    way real lowering code does.
+    """
+    ops = []
+    for index in range(steps):
+        op = rng.choice(("add", "sub", "mul", "truediv", "floordiv", "mod", "neg"))
+        if op == "neg":
+            ops.append((op, None))
+            continue
+        if op in ("floordiv", "mod"):
+            operand = rng.randint(1, 9)  # never divide by zero
+        elif op == "truediv":
+            operand = rng.choice((2, 4, 5, 8, 3.0, 7.0))
+        elif rng.random() < 0.3 and index > 0:
+            operand = ("ref", rng.randrange(index))
+        else:
+            operand = rng.choice((rng.randint(0, 12), rng.uniform(0.5, 4.0)))
+        ops.append((op, operand))
+    return ops
+
+
+def _apply(ops, start, values=None):
+    """Run a program on ``start`` (symbolic or concrete), mirroring each
+    back-reference into the same slot of ``values``."""
+    import operator
+
+    table = {
+        "add": operator.add,
+        "sub": operator.sub,
+        "mul": operator.mul,
+        "truediv": operator.truediv,
+        "floordiv": operator.floordiv,
+        "mod": operator.mod,
+    }
+    current = start
+    history = [start]
+    for op, operand in ops:
+        if op == "neg":
+            current = -current
+        else:
+            if isinstance(operand, tuple):
+                operand = history[operand[1]]
+            current = table[op](current, operand)
+        history.append(current)
+    return current
+
+
+class TestSubstitutionHomomorphism:
+    def test_trace_then_evaluate_equals_direct_computation(self):
+        rng = random.Random(SEED)
+        for _ in range(200):
+            ops = _random_program(rng, rng.randint(1, 12))
+            hint = rng.randint(1, 64)
+            tracer = SymTracer(hint=hint)
+            symbolic = _apply(ops, tracer.value())
+            for batch in (hint, 1, rng.randint(1, 512)):
+                expected = _apply(ops, batch)
+                got = evaluate(symbolic.node, batch)
+                assert got == expected
+                assert type(got) is type(expected)
+
+    def test_linear_tape_agrees_with_recursive_evaluation(self):
+        """The tape is a second, independent evaluator of the same trace;
+        both must replay to the identical value."""
+        rng = random.Random(SEED + 1)
+        for _ in range(100):
+            ops = _random_program(rng, rng.randint(1, 12))
+            tracer = SymTracer(hint=8)
+            symbolic = _apply(ops, tracer.value())
+            tape = LinearTape(tracer)
+            for batch in (1, 8, rng.randint(1, 256)):
+                slots = tape.run(batch)
+                assert slots[tape.slot(symbolic)] == evaluate(symbolic.node, batch)
+
+    def test_interning_shares_identical_subexpressions(self):
+        tracer = SymTracer(hint=4)
+        value = tracer.value()
+        left = (value * 3 + 1) * (value * 3 + 1)
+        right = value * 3 + 1
+        assert left.node.lhs is right.node  # hash-consing, one node
+
+
+def _random_polynomial(rng, max_degree=4) -> Polynomial:
+    return Polynomial(
+        {
+            degree: Fraction(rng.randint(-50, 50), rng.randint(1, 20))
+            for degree in range(rng.randint(0, max_degree) + 1)
+        }
+    )
+
+
+class TestRingAxioms:
+    def test_polynomials_form_a_commutative_ring(self):
+        rng = random.Random(SEED + 2)
+        zero, one = Polynomial(), Polynomial.constant(1)
+        for _ in range(150):
+            a = _random_polynomial(rng)
+            b = _random_polynomial(rng)
+            c = _random_polynomial(rng)
+            assert a + b == b + a
+            assert (a + b) + c == a + (b + c)
+            assert a * b == b * a
+            assert (a * b) * c == a * (b * c)
+            assert a * (b + c) == a * b + a * c
+            assert a + zero == a
+            assert a * one == a
+            assert a * zero == zero
+            assert a + (-a) == zero
+
+    def test_evaluation_is_a_ring_homomorphism(self):
+        rng = random.Random(SEED + 3)
+        for _ in range(100):
+            a = _random_polynomial(rng)
+            b = _random_polynomial(rng)
+            point = Fraction(rng.randint(-40, 40), rng.randint(1, 10))
+            assert (a + b).evaluate(point) == a.evaluate(point) + b.evaluate(point)
+            assert (a * b).evaluate(point) == a.evaluate(point) * b.evaluate(point)
+
+
+class TestRationalExactness:
+    def test_as_polynomial_matches_fraction_shadow(self):
+        """Division by int/float constants must become *exact* reciprocal
+        multiplication — the polynomial's value at any integer equals the
+        Fraction-arithmetic result of the same program."""
+        rng = random.Random(SEED + 4)
+        for _ in range(150):
+            # Polynomial-safe subset: no floordiv/mod.
+            ops = []
+            for _step in range(rng.randint(1, 10)):
+                op = rng.choice(("add", "sub", "mul", "truediv"))
+                if op == "truediv":
+                    ops.append((op, rng.randint(1, 9)))
+                elif op == "mul":
+                    ops.append((op, rng.randint(-6, 6)))
+                else:
+                    ops.append((op, rng.randint(-20, 20)))
+            tracer = SymTracer(hint=8)
+            symbolic = _apply(ops, tracer.value())
+            poly = as_polynomial(symbolic)
+            for batch in (1, 7, rng.randint(1, 1000)):
+                shadow = _apply(ops, Fraction(batch))
+                assert poly.evaluate(batch) == shadow
+
+    def test_accumulated_thirds_do_not_drift(self):
+        tracer = SymTracer(hint=3)
+        value = tracer.value()
+        total = value / 3
+        for _ in range(299):
+            total = total + value / 3
+        poly = as_polynomial(total)
+        assert poly.coefficient(1) == Fraction(100)
+        assert poly.evaluate(3) == Fraction(300)
+
+
+class TestMemoryMonotonicity:
+    @pytest.mark.parametrize(
+        "model,framework",
+        [("resnet-50", "mxnet"), ("nmt", "tensorflow"), ("transformer", "tensorflow")],
+    )
+    def test_allocation_footprint_nondecreasing_in_batch(self, model, framework):
+        spec = get_model(model)
+        sset = shared_plan_set(spec, get_framework(framework), QUADRO_P4000)
+        rng = random.Random(SEED + 5)
+        cap = 2 * max(spec.batch_sizes)
+        for _ in range(20):
+            small = rng.randint(1, cap - 1)
+            large = rng.randint(small + 1, cap)
+            small_bytes = sset.variant_for(small).allocation_bytes(small)
+            large_bytes = sset.variant_for(large).allocation_bytes(large)
+            assert small_bytes <= large_bytes, (small, large)
+
+    def test_charged_memory_polynomial_is_monotone_when_available(self):
+        sset = shared_plan_set(
+            get_model("nmt"), get_framework("tensorflow"), QUADRO_P4000
+        )
+        poly = sset.variant_for(8).charged_memory_polynomial()
+        assert poly.degree >= 1
+        assert poly.has_nonnegative_coefficients

@@ -23,6 +23,8 @@ REQUIRED = [
     ("repro/training/session.py", "TrainingSession", "execute_plan"),
     ("repro/training/session.py", "TrainingSession", "profile_memory"),
     ("repro/plan/compiler.py", None, "compile_graph"),
+    ("repro/plan/symbolic.py", None, "compile_symbolic"),
+    ("repro/plan/symbolic.py", "SymbolicPlanSet", "specialize"),
     ("repro/plan/cache.py", "PlanCache", "get"),
     ("repro/plan/transform.py", "PlanTransform", "apply"),
     ("repro/core/analysis.py", "AnalysisPipeline", "run"),
@@ -49,6 +51,8 @@ REQUIRED = [
 #: exporters scrape, so losing them silently blinds dashboards.
 REQUIRED_METRICS = [
     ("repro/bench/runner.py", "InterleavedRunner", "run"),
+    ("repro/plan/symbolic.py", None, "compile_symbolic"),
+    ("repro/plan/symbolic.py", "SymbolicPlanSet", "specialize"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
