@@ -82,7 +82,8 @@ def register_bench_command(subparsers) -> None:
     compare.add_argument("model")
     compare.add_argument(
         "treatment",
-        help="'fused-rnn', 'fp16-storage', or 'slowdown:<pct>'",
+        help="'fused-rnn', 'fp16-storage', 'pipeline:<spec>', or "
+        "'slowdown:<pct>'",
     )
     compare.add_argument("-f", "--framework", default="tensorflow")
     compare.add_argument("-b", "--batch", type=int, default=None)
@@ -192,6 +193,11 @@ def _cmd_history(args) -> int:
             f"  {symbolic_sweep.SUITE_NAME:<12} batch sweeps vs per-point "
             "recompiles: compile-count guard + bit-identity, wall-clock "
             "speedups recorded"
+        )
+        print(
+            f"  {'tune':<12} autotuner winners (tbd tune) vs baseline on "
+            "the RNN workloads; derived on demand, every winner must "
+            "verify as an improvement"
         )
         stored = store.suites()
         print(f"stored trajectories under {store.root}: " + (", ".join(stored) or "none"))

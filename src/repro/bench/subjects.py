@@ -10,8 +10,10 @@ per-sample path is the fast makespan recurrence from
 
 ``subject_for`` builds the standard subjects the CLI and suites use:
 ``baseline`` (the plan as compiled), a named plan transform
-(``fused-rnn``, ``fp16-storage``), or ``slowdown:<pct>`` — a biased
-baseline used as the harness's own negative control.
+(``fused-rnn``, ``fp16-storage``), a full transform pipeline
+(``pipeline:fused_rnn+fp16+offload:0.5`` — how the tune suite measures
+autotuner winners), or ``slowdown:<pct>`` — a biased baseline used as
+the harness's own negative control.
 """
 
 from __future__ import annotations
@@ -122,7 +124,9 @@ def subject_for(
     """Build one measurable subject for a ``(model, framework, batch)``
     point.
 
-    ``treatment`` is ``"baseline"``, a :data:`TRANSFORMS` name, or
+    ``treatment`` is ``"baseline"``, a :data:`TRANSFORMS` name,
+    ``"pipeline:<spec>"`` (a full transform pipeline in
+    :func:`~repro.plan.pipeline.parse_transform_spec` syntax), or
     ``"slowdown:<percent>"`` (e.g. ``slowdown:5`` for a deterministic 5%
     kernel-time regression — the gate's negative control).
     """
@@ -136,11 +140,18 @@ def subject_for(
         if percent <= -100.0:
             raise ValueError("slowdown percent must exceed -100")
         return PlanSubject(treatment, plan, kernel_bias=1.0 + percent / 100.0)
+    if treatment.startswith("pipeline:"):
+        from repro.plan.pipeline import parse_transform_spec
+
+        pipeline = parse_transform_spec(treatment.split(":", 1)[1])
+        return PlanSubject(
+            treatment, session.compile_transformed(batch_size, pipeline)
+        )
     if treatment in TRANSFORMS:
         transformed = TRANSFORMS[treatment]().apply(plan)
         return PlanSubject(treatment, transformed)
     known = ", ".join(sorted(TRANSFORMS))
     raise ValueError(
         f"unknown treatment {treatment!r}; expected 'baseline', "
-        f"'slowdown:<pct>', or one of: {known}"
+        f"'pipeline:<spec>', 'slowdown:<pct>', or one of: {known}"
     )

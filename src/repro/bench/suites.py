@@ -2,7 +2,7 @@
 
 A suite is a fixed list of A/B cases — (model, framework, batch,
 treatment) — run under one noise seed and recorded as one trajectory
-point.  Three ship by default:
+point.  Three ship by default, plus one built on demand:
 
 - ``fused-rnn``: the repo's flagship optimization (cuDNN-style fused RNN
   cells) against the baseline plan on the three RNN models.  This is the
@@ -14,6 +14,12 @@ point.  Three ship by default:
 - ``slowdown5``: baseline vs a deterministic 5% kernel-time slowdown.
   Every case must come back ``regression``; this is the power control —
   proof the gate actually fires when the code gets slower.
+- ``tune``: the autotuner's winning pipeline vs baseline on the three
+  RNN workloads.  The cases are *derived* — the cost-model search runs
+  when the suite is requested, so the trajectory records whatever
+  ``tbd tune`` currently picks — and every winner must come back
+  ``improvement``: a tuned config the A/B runner cannot confirm is a
+  tuner bug worth failing CI over.
 """
 
 from __future__ import annotations
@@ -106,11 +112,39 @@ _SUITES = {
 }
 
 
+def _build_tune_suite() -> BenchSuite:
+    """The derived ``tune`` suite: one case per RNN workload, measuring
+    the autotuner's current cost-model winner against the baseline.
+    Built on demand (the search compiles candidate pipelines), so the
+    static :func:`suite_catalog` stays cheap to list."""
+    from repro.tune.search import Autotuner
+
+    cases = []
+    for model, framework, batch in _RNN_POINTS:
+        result = Autotuner(model, framework, batch_size=batch).rank()
+        if result.winner is None:
+            continue  # nothing beat the baseline; nothing to measure
+        cases.append(
+            BenchCase(model, framework, batch, f"pipeline:{result.winner.spec}")
+        )
+    return BenchSuite(
+        name="tune",
+        description=(
+            "Autotuner winners (tbd tune) vs baseline on the three RNN "
+            "workloads; every winner must verify as an improvement"
+        ),
+        cases=tuple(cases),
+        expect="improvement",
+    )
+
+
 def get_suite(name: str) -> BenchSuite:
+    if name == "tune":
+        return _build_tune_suite()
     try:
         return _SUITES[name]
     except KeyError:
-        known = ", ".join(sorted(_SUITES))
+        known = ", ".join(sorted([*_SUITES, "tune"]))
         raise ValueError(f"unknown bench suite {name!r}; known: {known}") from None
 
 

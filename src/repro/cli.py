@@ -5,10 +5,15 @@ Subcommands:
 - ``tbd run MODEL [-f FW] [-b BATCH] [-g GPU]`` — one configuration, all
   headline metrics.
 - ``tbd sweep MODEL [-f FW] [--jobs N] [--cache-dir DIR] [--no-cache]
-  [--faults SPEC]`` — the model's mini-batch sweep, fanned out across
-  worker processes and memoized in the content-addressed result cache;
-  ``--faults`` runs every point under a fault scenario (its own cache
-  dimension).
+  [--faults SPEC] [--transforms SPEC]`` — the model's mini-batch sweep,
+  fanned out across worker processes and memoized in the
+  content-addressed result cache; ``--faults`` runs every point under a
+  fault scenario and ``--transforms`` under an optimization pipeline
+  (each its own cache dimension).
+- ``tbd tune MODEL [-f FW] [-b BATCH] [-g GPU]`` — the cost-model-guided
+  autotuner: enumerate transform pipelines under the analytic OOM
+  boundary, rank by modeled makespan, confirm the winner with the
+  interleaved A/B runner, and persist it in the result cache.
 - ``tbd faults run|show|demo`` — fault-injection scenarios: run one
   model through a scenario, describe a parsed spec, or the elastic
   recovery demo (crash mid-training, finish anyway).
@@ -53,8 +58,10 @@ from repro.data.registry import dataset_catalog
 from repro.engine.cli import (
     add_engine_arguments,
     add_faults_argument,
+    add_transforms_argument,
     register_cache_command,
 )
+from repro.tune.cli import register_tune_command
 from repro.frameworks.registry import framework_catalog
 from repro.hardware.devices import get_gpu
 from repro.models.registry import extension_catalog, model_catalog
@@ -77,8 +84,13 @@ def _cmd_sweep(args) -> int:
 
     suite = _suite(args)
     engine = engine_from_args(args, gpu=suite.gpu)
-    if args.faults:
-        points = engine.sweep(args.model, args.framework, faults=args.faults)
+    if args.faults or args.transforms:
+        points = engine.sweep(
+            args.model,
+            args.framework,
+            faults=args.faults,
+            transforms=args.transforms,
+        )
     else:
         points = suite.sweep(args.model, args.framework, engine=engine)
     for point in points:
@@ -447,11 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("-g", "--gpu", default=None)
     add_engine_arguments(sweep)
     add_faults_argument(sweep)
+    add_transforms_argument(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     register_cache_command(sub)
     register_conformance_command(sub)
     register_bench_command(sub)
+    register_tune_command(sub)
 
     analyze = sub.add_parser("analyze", help="full analysis pipeline + advice")
     add_config(analyze)

@@ -396,6 +396,66 @@ def _transform_conservation(ev: PointEvidence) -> list:
     return out
 
 
+# Ranking a point enumerates every candidate pipeline, so the verdict is
+# memoized per (point, ranking function).  Keying on the *function* keeps
+# the memo honest under monkeypatched rank orders (the mutant self-test).
+_TUNE_RANK_MEMO: dict = {}
+
+
+@_register(
+    "tuned-config-dominance",
+    "point",
+    "the autotuner's winning pipeline fits GPU memory (its recorded fits "
+    "bit agrees with the analytic check) and never has a larger modeled "
+    "makespan than the untransformed baseline",
+)
+def _tuned_config_dominance(ev: PointEvidence) -> list:
+    # Imported here for the same reason as the bench imports below: tune
+    # depends on repro.plan and repro.bench.
+    from repro.plan.pipeline import parse_transform_spec
+    from repro.tune.search import Autotuner
+
+    memo_key = (
+        ev.model,
+        ev.framework,
+        ev.gpu.name,
+        int(ev.batch_size),
+        Autotuner._rank_key,
+    )
+    cached = _TUNE_RANK_MEMO.get(memo_key)
+    if cached is None:
+        tuner = Autotuner(
+            ev.model, ev.framework, gpu=ev.gpu, batch_size=ev.batch_size
+        )
+        result = tuner.rank()
+        analytic_fits = None
+        if result.winner is not None:
+            plan = tuner._session.compile_transformed(
+                ev.batch_size, parse_transform_spec(result.winner.spec)
+            )
+            analytic_fits = plan.fits(ev.gpu.memory_bytes)
+        cached = (result, analytic_fits)
+        _TUNE_RANK_MEMO[memo_key] = cached
+    result, analytic_fits = cached
+    winner = result.winner
+    if winner is None:
+        return []
+    out = []
+    if not winner.fits or not analytic_fits:
+        out.append(
+            f"tuned winner {winner.spec!r} does not fit {ev.gpu.name} "
+            f"memory (scored fits={winner.fits}, analytic "
+            f"fits={analytic_fits})"
+        )
+    if winner.makespan_s > ev.plan.makespan_s * (1.0 + REL_TOL):
+        out.append(
+            f"tuned winner {winner.spec!r} has a larger modeled makespan "
+            f"({winner.makespan_s:.6e}s) than the untransformed baseline "
+            f"({ev.plan.makespan_s:.6e}s)"
+        )
+    return out
+
+
 @_register(
     "noise-median-convergence",
     "point",

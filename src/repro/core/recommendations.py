@@ -22,6 +22,13 @@ Rules encoded (the observation each derives from in parentheses):
                                           compression (Obs. 13)
 7. input pipeline exposed              -> more reader threads / pre-packed
                                           data (the CNTK lesson, Fig. 7)
+
+On top of the heuristics, the advisor consults the autotuner's cache
+(:mod:`repro.tune.store`): when ``tbd tune`` has already *measured* a
+winning transform pipeline for the exact workload under analysis, the
+first recommendation cites that config and its confirmed speedup instead
+of guessing — the heuristics remain as the fallback for workloads nobody
+has tuned yet.
 """
 
 from __future__ import annotations
@@ -144,7 +151,82 @@ def _pipeline_rules(report) -> list:
     return []
 
 
-def advise(report, distributed_profile=None) -> list:
+def _workload_identity(metrics):
+    """Map the report's display strings back to registry identities:
+    ``(model key, framework key, GPUSpec)`` — or ``None`` when any leg
+    does not resolve (an ad-hoc graph, an unregistered device)."""
+    from repro.frameworks.registry import framework_catalog
+    from repro.hardware.devices import gpu_catalog
+    from repro.models.registry import model_catalog
+
+    model_key = next(
+        (
+            spec.key
+            for spec in model_catalog().values()
+            if spec.display_name == metrics.model
+        ),
+        None,
+    )
+    framework_key = next(
+        (
+            framework.key
+            for framework in framework_catalog().values()
+            if framework.name == metrics.framework
+        ),
+        None,
+    )
+    gpu = next(
+        (gpu for gpu in gpu_catalog().values() if gpu.name == metrics.device),
+        None,
+    )
+    if model_key is None or framework_key is None or gpu is None:
+        return None
+    return model_key, framework_key, gpu
+
+
+def _tuned_config_rules(report, cache=None) -> list:
+    """Cite the autotuner's measured best config when one is cached for
+    this exact workload; silent otherwise (the heuristics stand in)."""
+    identity = _workload_identity(report.metrics)
+    if identity is None:
+        return []
+    model_key, framework_key, gpu = identity
+    from repro.engine.cache import ResultCache
+    from repro.tune.store import load_tuned
+
+    try:
+        store = cache if cache is not None else ResultCache(None)
+        doc = load_tuned(
+            store, model_key, framework_key, report.metrics.batch_size, gpu=gpu
+        )
+    except OSError:
+        return []
+    if not doc or not doc.get("winner"):
+        return []
+    winner = doc["winner"]
+    makespan = winner.get("makespan_s") or 0.0
+    speedup = doc["baseline_makespan_s"] / makespan if makespan > 0.0 else 1.0
+    evidence = f"tbd tune measured a x{speedup:.2f} modeled makespan speedup"
+    confirmation = doc.get("confirmation")
+    if confirmation:
+        evidence += (
+            f", A/B-confirmed x{confirmation['speedup']:.2f} "
+            f"(p={confirmation['p_improvement']:.4f}, "
+            f"{confirmation['verdict']})"
+        )
+    return [
+        Recommendation(
+            priority=1,
+            rule="measured tuned config",
+            advice=f"apply the tuned transform pipeline "
+            f"'{winner['spec']}' (tbd sweep --transforms "
+            f"'{winner['spec']}'); retuning is a cache hit",
+            evidence=evidence,
+        )
+    ]
+
+
+def advise(report, distributed_profile=None, cache=None) -> list:
     """Produce ranked recommendations for one analysis report.
 
     Args:
@@ -152,8 +234,13 @@ def advise(report, distributed_profile=None) -> list:
         distributed_profile: optional
             :class:`~repro.distributed.DistributedProfile` for the same
             model, to diagnose communication exposure.
+        cache: optional :class:`~repro.engine.cache.ResultCache` holding
+            tuned configs (default: the default cache location), so a
+            workload ``tbd tune`` has measured gets its tuned pipeline
+            cited ahead of the heuristics.
     """
     recommendations = []
+    recommendations.extend(_tuned_config_rules(report, cache=cache))
     recommendations.extend(_gpu_idle_rules(report))
     recommendations.extend(_fp32_rules(report))
     recommendations.extend(_kernel_rules(report))

@@ -47,6 +47,20 @@ def add_faults_argument(parser) -> None:
     )
 
 
+def add_transforms_argument(parser) -> None:
+    """Attach the ``--transforms`` pipeline option to a sweep-shaped parser."""
+    parser.add_argument(
+        "--transforms",
+        default="",
+        metavar="SPEC",
+        help=(
+            "transform pipeline to run every point under, e.g. "
+            "'fused_rnn+fp16+offload:0.5' "
+            "(default: none; cached as its own grid dimension)"
+        ),
+    )
+
+
 def engine_from_args(args, gpu: GPUSpec | None = None) -> SweepEngine:
     """Build the :class:`SweepEngine` an engine-aware command asked for."""
     cache = None

@@ -54,16 +54,21 @@ class PointSpec:
     """Grid coordinates of one sweep point.
 
     ``faults`` is an optional fault-scenario string
-    (:func:`repro.faults.spec.parse_fault_spec` syntax); the empty string
-    — the default — is the plain fault-free point, and its cache keys,
-    payloads and exported records are byte-identical to what they were
-    before the dimension existed.
+    (:func:`repro.faults.spec.parse_fault_spec` syntax); ``transforms``
+    is an optional transform-pipeline string
+    (:func:`repro.plan.pipeline.parse_transform_spec` syntax, e.g.
+    ``"fused_rnn+fp16+offload:0.5"``).  For both, the empty string — the
+    default — is the plain point, and its cache keys, payloads and
+    exported records are byte-identical to what they were before the
+    dimension existed.  A point cannot carry both at once: the fault
+    trainer replays the untransformed plan.
     """
 
     model: str
     framework: str
     batch_size: int
     faults: str = ""
+    transforms: str = ""
 
 
 @dataclass
@@ -129,10 +134,46 @@ def _compute_payload(
         )
         if sessions is not None:
             sessions[key] = session
+    if getattr(spec, "transforms", ""):
+        return _compute_transformed_payload(spec, session)
     try:
         profile = session.run_iteration(spec.batch_size)
     except OutOfMemoryError:
         return point_to_payload(SweepPoint(batch_size=spec.batch_size, oom=True))
+    return point_to_payload(
+        SweepPoint(
+            batch_size=spec.batch_size,
+            metrics=IterationMetrics.from_profile(
+                profile, throughput_unit=session.spec.throughput_unit
+            ),
+        )
+    )
+
+
+def _compute_transformed_payload(spec: PointSpec, session: TrainingSession) -> dict:
+    """Simulate one grid point under its transform pipeline.
+
+    The session compiles (symbolically when possible) and the pipeline
+    rewrites the specialized plan — trace once, specialize per batch,
+    rewrite per pipeline, with every prefix memoized in the session's
+    plan cache.  Memory is checked against the *transformed* plan: that
+    is the whole point of the memory transforms (an offloaded point may
+    fit where the baseline OOMs, and a deepened one may OOM where the
+    baseline fits).
+    """
+    from repro.plan.pipeline import parse_transform_spec
+
+    pipeline = parse_transform_spec(spec.transforms)
+    try:
+        plan = session.compile_transformed(spec.batch_size, pipeline)
+        memory = None
+        if session.check_memory:
+            memory = plan.check_memory(session.gpu.memory_bytes)
+    except OutOfMemoryError:
+        return point_to_payload(SweepPoint(batch_size=spec.batch_size, oom=True))
+    profile = session.execute_plan(
+        plan, memory=memory, display_name=session.spec.display_name
+    )
     return point_to_payload(
         SweepPoint(
             batch_size=spec.batch_size,
@@ -264,6 +305,18 @@ class SweepEngine:
                     from repro.faults.spec import parse_fault_spec
 
                     parse_fault_spec(spec.faults)
+                transforms = getattr(spec, "transforms", "")
+                if transforms:
+                    if spec.faults:
+                        raise ValueError(
+                            f"a point cannot combine faults and transforms "
+                            f"(got faults={spec.faults!r}, "
+                            f"transforms={transforms!r}): the fault trainer "
+                            f"replays the untransformed plan"
+                        )
+                    from repro.plan.pipeline import parse_transform_spec
+
+                    parse_transform_spec(transforms)
             results: list = []
             missing: list = []
             keys: list = [None] * len(specs)
@@ -277,6 +330,7 @@ class SweepEngine:
                         gpu=self.gpu,
                         cpu=self.cpu,
                         faults=spec.faults,
+                        transforms=getattr(spec, "transforms", ""),
                     )
                     payload = self.cache.load(keys[index])
                     if payload is not None:
@@ -309,6 +363,8 @@ class SweepEngine:
                     }
                     if spec.faults:
                         config["faults"] = spec.faults
+                    if getattr(spec, "transforms", ""):
+                        config["transforms"] = spec.transforms
                     self.cache.store(keys[index], payload, config=config)
             results.extend(computed)
             grid_span.set_attributes(
@@ -427,18 +483,29 @@ class SweepEngine:
     # suite-shaped conveniences
     # ------------------------------------------------------------------
 
-    def sweep(self, model: str, framework: str, batch_sizes=None, faults: str = "") -> list:
+    def sweep(
+        self,
+        model: str,
+        framework: str,
+        batch_sizes=None,
+        faults: str = "",
+        transforms: str = "",
+    ) -> list:
         """Engine-backed equivalent of :meth:`TBDSuite.sweep`.
 
         ``faults`` runs every point of the sweep under one fault
-        scenario (cached as its own grid dimension); the default empty
-        string is the plain fault-free sweep, byte-identical to before
-        the dimension existed.
+        scenario; ``transforms`` runs every point under one transform
+        pipeline (each cached as its own grid dimension, mutually
+        exclusive).  The default empty strings are the plain sweep,
+        byte-identical to before either dimension existed.
         """
         spec = get_model(model)
         sizes = batch_sizes if batch_sizes is not None else spec.batch_sizes
         return self.run_grid(
-            [PointSpec(spec.key, framework, int(batch), faults) for batch in sizes]
+            [
+                PointSpec(spec.key, framework, int(batch), faults, transforms)
+                for batch in sizes
+            ]
         )
 
     def run(self, model: str, framework: str, batch_size: int | None = None):

@@ -38,7 +38,14 @@ from repro.training.hyperparams import MODEL_DEFAULTS, Hyperparameters
 #: Schema version of the key document; bump to invalidate every entry.
 #: v2: the document gained a ``faults`` dimension (empty string when the
 #: point is fault-free).
-KEY_SCHEMA = 2
+#: v3: the document gained a ``transforms`` dimension — but only for
+#: transformed points.  Untransformed documents keep the v2 shape (no
+#: ``transforms`` field, ``schema: 2``) so every pre-v3 cache entry and
+#: JSONL export stays byte-identical, exactly how ``faults`` landed.
+KEY_SCHEMA = 3
+
+#: The schema untransformed documents declare (and are byte-identical to).
+_UNTRANSFORMED_SCHEMA = 2
 
 #: Timing-model modules every sweep point depends on, relative to the
 #: ``repro`` package root.  Directories mean "every .py file inside".
@@ -64,6 +71,13 @@ FAULT_CODE = (
     "hardware/cluster.py",
     "hardware/interconnect.py",
 )
+
+#: Extra modules a *transformed* point's result additionally depends on:
+#: the optimization rewrites a pipeline composes.  (``plan/`` — including
+#: the pipeline parser and the transform contracts — is already in
+#: :data:`CORE_CODE`.)  Untransformed points deliberately exclude these,
+#: so editing an optimization never invalidates the plain paper grid.
+TRANSFORM_CODE = ("optimizations",)
 
 #: Run dimensions that deliberately do NOT participate in the cache key.
 #: The bench noise seed is measurement-layer state: it perturbs *observed*
@@ -181,16 +195,22 @@ def _module_relpath(module_name: str) -> str | None:
     return relative if os.path.isfile(os.path.join(_PACKAGE_ROOT, relative)) else None
 
 
-def code_fingerprint(model_module: str | None = None, with_faults: bool = False) -> str:
+def code_fingerprint(
+    model_module: str | None = None,
+    with_faults: bool = False,
+    with_transforms: bool = False,
+) -> str:
     """Fingerprint of the timing-model source a point's result depends on.
 
     ``model_module`` is the model builder's module name; only that model's
     entries move when it changes.  ``with_faults`` widens the dependency
-    set by :data:`FAULT_CODE` for points running under a fault scenario.
-    The composite digest hashes the sorted ``(relative path, file
-    sha256)`` list so renames count as changes.
+    set by :data:`FAULT_CODE` for points running under a fault scenario;
+    ``with_transforms`` widens it by :data:`TRANSFORM_CODE` for points
+    running under a transform pipeline.  The composite digest hashes the
+    sorted ``(relative path, file sha256)`` list so renames count as
+    changes.
     """
-    cache_key = (model_module, with_faults)
+    cache_key = (model_module, with_faults, with_transforms)
     cached = _CODE_FINGERPRINTS.get(cache_key)
     if cached is not None:
         return cached
@@ -199,6 +219,8 @@ def code_fingerprint(model_module: str | None = None, with_faults: bool = False)
     sources = list(CORE_CODE)
     if with_faults:
         sources.extend(FAULT_CODE)
+    if with_transforms:
+        sources.extend(TRANSFORM_CODE)
     if model_module is not None:
         relative = _module_relpath(model_module)
         if relative is not None:
@@ -256,6 +278,7 @@ def key_document(
     hyperparams: Hyperparameters | None = None,
     code: str | None = None,
     faults: str = "",
+    transforms: str = "",
 ) -> dict:
     """The full canonical document a point key hashes.
 
@@ -263,9 +286,12 @@ def key_document(
     ``hyperparams`` defaults to the model's registered reference set;
     ``code`` defaults to :func:`code_fingerprint` of the timing model plus
     the model's builder module (widened by :data:`FAULT_CODE` when the
-    point carries a ``faults`` scenario); ``faults`` is the raw scenario
-    string — the scenario is hashed as text because the text *is* the
-    deterministic input (same text + same code = same result).
+    point carries a ``faults`` scenario and by :data:`TRANSFORM_CODE` when
+    it carries a ``transforms`` pipeline); ``faults`` and ``transforms``
+    are the raw scenario/pipeline strings — hashed as text because the
+    text *is* the deterministic input (same text + same code = same
+    result).  An untransformed document omits the ``transforms`` field and
+    declares ``schema: 2``, keeping it byte-identical to the v2 shape.
     """
     spec = get_model(model) if isinstance(model, str) else model
     personality = (
@@ -274,9 +300,13 @@ def key_document(
     if hyperparams is None:
         hyperparams = MODEL_DEFAULTS.get(spec.key)
     if code is None:
-        code = code_fingerprint(spec.build.__module__, with_faults=bool(faults))
-    return {
-        "schema": KEY_SCHEMA,
+        code = code_fingerprint(
+            spec.build.__module__,
+            with_faults=bool(faults),
+            with_transforms=bool(transforms),
+        )
+    document = {
+        "schema": KEY_SCHEMA if transforms else _UNTRANSFORMED_SCHEMA,
         "model": fingerprint_model(spec),
         "framework": fingerprint_framework(personality),
         "gpu": fingerprint_gpu(gpu),
@@ -286,6 +316,9 @@ def key_document(
         "code": code,
         "faults": faults,
     }
+    if transforms:
+        document["transforms"] = transforms
+    return document
 
 
 def point_key(
@@ -297,6 +330,7 @@ def point_key(
     hyperparams: Hyperparameters | None = None,
     code: str | None = None,
     faults: str = "",
+    transforms: str = "",
 ) -> str:
     """Content address of one sweep point: SHA-256 over every input the
     simulated result depends on."""
@@ -310,5 +344,6 @@ def point_key(
             hyperparams=hyperparams,
             code=code,
             faults=faults,
+            transforms=transforms,
         )
     )

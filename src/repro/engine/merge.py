@@ -79,8 +79,9 @@ def merge_ordered(total: int, indexed_payloads) -> list:
 def grid_record(spec, point: SweepPoint) -> dict:
     """One exportable record: the grid coordinates plus the point payload.
 
-    The ``faults`` coordinate appears only when the spec carries one, so
-    fault-free exports stay byte-identical to the pre-fault format.
+    The ``faults`` and ``transforms`` coordinates appear only when the
+    spec carries one, so plain exports stay byte-identical to the format
+    that predates each dimension.
     """
     payload = point_to_payload(point)
     record = {
@@ -93,6 +94,9 @@ def grid_record(spec, point: SweepPoint) -> dict:
     faults = getattr(spec, "faults", "")
     if faults:
         record["faults"] = faults
+    transforms = getattr(spec, "transforms", "")
+    if transforms:
+        record["transforms"] = transforms
     return record
 
 

@@ -14,6 +14,9 @@ an XLA-style compile-then-execute split:
   batch, gpu)`` point compiles exactly once per session;
 - :mod:`repro.plan.transform` expresses the optimization what-ifs as
   plan -> plan rewrites with checked conservation contracts;
+- :mod:`repro.plan.pipeline` composes those rewrites behind the
+  ``--transforms`` mini-language (``fused_rnn+fp16+offload:0.5``) with
+  canonical normalized ordering and composition-wide contract checks;
 - :mod:`repro.plan.symbolic` compiles once per (model, framework, GPU)
   with a symbolic batch and specializes per batch — bit-identical to
   :func:`~repro.plan.compiler.compile_graph` inside each guard region.
@@ -28,6 +31,14 @@ from repro.plan.compiler import (
     reduced_offload_allocations,
 )
 from repro.plan.executor import ExecutionReplay, replay
+from repro.plan.pipeline import (
+    PipelineStage,
+    TransformPipeline,
+    TransformSpecError,
+    canonical_transform_spec,
+    parse_transform_spec,
+    transform_catalog,
+)
 from repro.plan.symbolic import (
     GuardViolation,
     SymbolicPlan,
@@ -46,6 +57,7 @@ from repro.plan.transform import (
     HalfPrecisionStorageTransform,
     PlanTransform,
     ResNetDepthTransform,
+    TransformArgumentError,
     TransformContractError,
 )
 
@@ -58,6 +70,7 @@ __all__ = [
     "GuardViolation",
     "HalfPrecisionStorageTransform",
     "NotPolynomial",
+    "PipelineStage",
     "PlanCache",
     "PlanCacheStats",
     "PlanTransform",
@@ -68,10 +81,15 @@ __all__ = [
     "SymbolicPlan",
     "SymbolicPlanSet",
     "TraceEscape",
+    "TransformArgumentError",
     "TransformContractError",
+    "TransformPipeline",
+    "TransformSpecError",
+    "canonical_transform_spec",
     "compile_graph",
     "compile_symbolic",
     "lower_kernels",
+    "parse_transform_spec",
     "plan_difference",
     "plan_fingerprint",
     "record_allocations",
@@ -79,4 +97,5 @@ __all__ = [
     "replay",
     "shared_plan_set",
     "shared_plan_sets_clear",
+    "transform_catalog",
 ]

@@ -28,6 +28,10 @@ class TransformContractError(RuntimeError):
     """A transform violated a conservation contract it declared."""
 
 
+class TransformArgumentError(ValueError):
+    """A transform was constructed with an out-of-domain argument."""
+
+
 class PlanTransform:
     """Base class: ``apply`` wraps the subclass rewrite with tracing and
     the declared conservation checks."""
@@ -125,8 +129,16 @@ class FeatureMapOffloadTransform(PlanTransform):
     name = "feature-map-offload"
 
     def __init__(self, offload_fraction: float):
+        try:
+            offload_fraction = float(offload_fraction)
+        except (TypeError, ValueError):
+            raise TransformArgumentError(
+                f"offload fraction must be a number, got {offload_fraction!r}"
+            ) from None
         if not 0.0 <= offload_fraction <= 1.0:
-            raise ValueError("offload fraction must be in [0, 1]")
+            raise TransformArgumentError(
+                f"offload fraction must be in [0, 1], got {offload_fraction!r}"
+            )
         self.offload_fraction = offload_fraction
 
     def rewrite(self, plan: CompiledPlan) -> CompiledPlan:
@@ -148,6 +160,14 @@ class ResNetDepthTransform(PlanTransform):
     preserves_weight_bytes = False
 
     def __init__(self, conv4_blocks: int):
+        if not isinstance(conv4_blocks, int) or isinstance(conv4_blocks, bool):
+            raise TransformArgumentError(
+                f"conv4 block count must be an integer, got {conv4_blocks!r}"
+            )
+        if conv4_blocks < 1:
+            raise TransformArgumentError(
+                f"conv4 block count must be >= 1, got {conv4_blocks}"
+            )
         self.conv4_blocks = conv4_blocks
 
     def rewrite(self, plan: CompiledPlan) -> CompiledPlan:

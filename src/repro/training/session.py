@@ -166,6 +166,40 @@ class TrainingSession:
             lambda: self._build_plan(batch),
         )
 
+    def compile_transformed(self, batch_size: int | None, pipeline) -> CompiledPlan:
+        """The session's compiled plan for one batch size under a
+        :class:`~repro.plan.pipeline.TransformPipeline`.
+
+        Stages apply incrementally in the pipeline's canonical order, and
+        every *prefix* of the pipeline memoizes its plan in the session's
+        :class:`~repro.plan.cache.PlanCache` — so candidate pipelines that
+        share a prefix (the autotuner enumerates many) share the expensive
+        graph-rewrite recompiles, and the symbolic trace is reused: trace
+        once, specialize per batch, then rewrite.  Bit-identical to
+        ``pipeline.apply(self.compile(batch))`` (same stage sequence), and
+        the pipeline's composition-wide contracts are enforced on the
+        final plan either way."""
+        base = self.compile(batch_size)
+        if not pipeline:
+            return base
+        batch = base.graph.batch_size
+        plan = base
+        prefix_tokens = []
+        for stage in pipeline:
+            prefix_tokens.append(stage.token)
+            prior = plan
+            plan = self._plans.get(
+                (
+                    int(batch),
+                    GRADIENT_MAP_FACTOR,
+                    _INPUT_STAGING_BUFFERS,
+                    "+".join(prefix_tokens),
+                ),
+                lambda: stage.transform.apply(prior),
+            )
+        pipeline.check_composition(base, plan)
+        return plan
+
     def _build_plan(self, batch) -> CompiledPlan:
         """Plan-cache factory: symbolic specialize when possible, the
         concrete compiler otherwise (and for models that escape the

@@ -1,0 +1,31 @@
+"""Cost-model-guided transform autotuning (``tbd tune``).
+
+- :mod:`repro.tune.search` enumerates applicable transform pipelines per
+  (model, framework, GPU, batch), scores each candidate's compiled plan
+  (makespan, allocation peak, analytic memory fit), and confirms the
+  winner with the interleaved A/B runner;
+- :mod:`repro.tune.store` persists winners in the content-addressed
+  result cache so retuning an unchanged workload is free;
+- :mod:`repro.tune.cli` is the ``tbd tune`` subcommand.
+"""
+
+from repro.tune.search import (
+    Autotuner,
+    Candidate,
+    DEPTH_BLOCKS,
+    OFFLOAD_FRACTIONS,
+    TuneResult,
+)
+from repro.tune.store import TUNED_SCHEMA, load_tuned, store_tuned, tuned_key
+
+__all__ = [
+    "Autotuner",
+    "Candidate",
+    "DEPTH_BLOCKS",
+    "OFFLOAD_FRACTIONS",
+    "TUNED_SCHEMA",
+    "TuneResult",
+    "load_tuned",
+    "store_tuned",
+    "tuned_key",
+]

@@ -17,6 +17,7 @@ from dataclasses import replace
 
 import pytest
 
+import repro.conformance.invariants as conf_invariants
 import repro.core.metrics as core_metrics
 import repro.distributed.data_parallel as data_parallel
 import repro.hardware.memory as hwmem
@@ -26,6 +27,17 @@ from repro.conformance import ConformanceRunner, invariant_registry, shrink
 from repro.conformance.generator import simplicity_order
 from repro.engine.executor import PointSpec
 from repro.models.registry import get_model
+from repro.tune.search import Autotuner
+
+
+@pytest.fixture(autouse=True)
+def _clear_tune_rank_memo():
+    # The tuned-config-dominance invariant memoizes rank results per
+    # (point, rank function); a patched-simulator result leaking across
+    # tests would be compared against a differently-patched baseline.
+    conf_invariants._TUNE_RANK_MEMO.clear()
+    yield
+    conf_invariants._TUNE_RANK_MEMO.clear()
 
 
 def _fresh_runner() -> ConformanceRunner:
@@ -97,6 +109,16 @@ def _patch_symbolic_flops(monkeypatch):
     monkeypatch.setattr(plan_symbolic.SymbolicPlan, "specialize", off_by_one)
 
 
+def _patch_rank_order(monkeypatch):
+    """Bug class: the autotuner's total order inverts makespan, so the
+    slowest fitting candidate ranks first and "wins"."""
+    monkeypatch.setattr(
+        Autotuner,
+        "_rank_key",
+        staticmethod(lambda c: (-c.makespan_s, c.peak_bytes, c.spec)),
+    )
+
+
 def _patch_analytic_fits(monkeypatch):
     """Bug class: the analytic memory model declares every batch an OOM,
     while the searched oracle still compiles and fits."""
@@ -139,6 +161,13 @@ class TestPointMutants:
         _patch_metrics(monkeypatch)
         fired = _fired_point(PointSpec("resnet-50", "mxnet", 32, ""))
         assert fired == ["throughput-identity"]
+
+    def test_rank_order_mutant(self, monkeypatch):
+        # Inverted ranking crowns the slow depth:36 pipeline on a residual
+        # network; only the dominance law sees through the cost model.
+        _patch_rank_order(monkeypatch)
+        fired = _fired_point(PointSpec("resnet-50", "mxnet", 4, ""))
+        assert fired == ["tuned-config-dominance"]
 
 
 class TestScalingMutant:
@@ -221,6 +250,29 @@ class TestShrinker:
         assert minimal.faults == ""
         assert gpu == "p4000"
         assert runner.violates("analytic-oom-agreement", minimal, gpu)
+
+    def test_rank_order_mutant_shrinks_to_smallest_resnet(self, monkeypatch):
+        _patch_rank_order(monkeypatch)
+        runner = _fresh_runner()
+        start = PointSpec(
+            "resnet-50", "cntk", 32, "cluster=2M1G:infiniband; crash=1@5"
+        )
+        assert runner.violates("tuned-config-dominance", start, "titan xp")
+        minimal, gpu, evals = shrink(
+            start,
+            "titan xp",
+            lambda spec, g: runner.violates("tuned-config-dominance", spec, g),
+        )
+        # The depth rewrite only applies to residual networks, so the
+        # model leg cannot shrink away from resnet-50 (the inverted order
+        # is harmless where every candidate matches the baseline's
+        # makespan); everything else minimizes.
+        assert minimal.model == "resnet-50"
+        assert minimal.framework == get_model("resnet-50").frameworks[0]
+        assert minimal.batch_size == min(get_model("resnet-50").batch_sizes)
+        assert minimal.faults == ""
+        assert gpu == "p4000"
+        assert runner.violates("tuned-config-dominance", minimal, gpu)
 
     def test_shrink_is_identity_on_clean_simulator(self):
         runner = _fresh_runner()

@@ -43,6 +43,9 @@ REQUIRED = [
     ("repro/conformance/generator.py", None, "shrink"),
     ("repro/bench/runner.py", "InterleavedRunner", "run"),
     ("repro/bench/suites.py", None, "run_suite"),
+    ("repro/plan/pipeline.py", "TransformPipeline", "apply"),
+    ("repro/tune/search.py", "Autotuner", "rank"),
+    ("repro/tune/search.py", "Autotuner", "_score"),
 ]
 
 #: Entry points that must additionally record metrics: the function body
@@ -53,6 +56,7 @@ REQUIRED_METRICS = [
     ("repro/bench/runner.py", "InterleavedRunner", "run"),
     ("repro/plan/symbolic.py", None, "compile_symbolic"),
     ("repro/plan/symbolic.py", "SymbolicPlanSet", "specialize"),
+    ("repro/tune/search.py", "Autotuner", "rank"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
