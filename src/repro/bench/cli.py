@@ -14,7 +14,7 @@ semantics and runner construction live in one place.
 
 from __future__ import annotations
 
-from repro.bench import symbolic_sweep
+from repro.bench import serve_suite, symbolic_sweep
 from repro.bench.gate import evaluate_gate
 from repro.bench.noise import NoiseModel
 from repro.bench.runner import InterleavedRunner
@@ -125,6 +125,19 @@ def _run_symbolic_sweep(args) -> bool:
     return gate_doc["passed"]
 
 
+def _run_serve_suite(args) -> bool:
+    """Run the serve load-test suite; returns the gate verdict (all its
+    gated numbers are simulated/deterministic, so like the symbolic
+    sweep it bypasses the noise-model A/B machinery)."""
+    results, gate_doc, path = serve_suite.run_and_record(args.dir)
+    for result in results:
+        print(result.format_row())
+    print(f"trajectory: {path}")
+    if not gate_doc["passed"]:
+        print("SLO/guard failures: " + ", ".join(gate_doc["failures"]))
+    return gate_doc["passed"]
+
+
 def _run_and_record(args, record: bool):
     suite = get_suite(args.suite)
     noise = NoiseModel(seed=args.seed)
@@ -154,6 +167,9 @@ def _cmd_run(args) -> int:
     if args.suite == symbolic_sweep.SUITE_NAME:
         _run_symbolic_sweep(args)
         return 0
+    if args.suite == serve_suite.SUITE_NAME:
+        _run_serve_suite(args)
+        return 0
     _run_and_record(args, record=True)
     return 0
 
@@ -161,6 +177,8 @@ def _cmd_run(args) -> int:
 def _cmd_gate(args) -> int:
     if args.suite == symbolic_sweep.SUITE_NAME:
         return 0 if _run_symbolic_sweep(args) else 1
+    if args.suite == serve_suite.SUITE_NAME:
+        return 0 if _run_serve_suite(args) else 1
     report = _run_and_record(args, record=True)
     print(report.format_summary())
     return 0 if report.passed else 1
@@ -199,6 +217,11 @@ def _cmd_history(args) -> int:
             "the RNN workloads; derived on demand, every winner must "
             "verify as an improvement"
         )
+        print(
+            f"  {serve_suite.SUITE_NAME:<12} deterministic loadgen "
+            "scenarios against the serve scheduler: p99 latency SLO, "
+            "fairness floor, zero starvation"
+        )
         stored = store.suites()
         print(f"stored trajectories under {store.root}: " + (", ".join(stored) or "none"))
         return 0
@@ -215,6 +238,17 @@ def _cmd_history(args) -> int:
             f"code={record['environment']['code'][:12]} gate={status}"
         )
         for result in record["results"]:
+            if "latency_p99_s" in result:
+                p99 = result["latency_p99_s"]
+                print(
+                    f"  {result['name']:<40} "
+                    f"completed={result['completed']} "
+                    f"p99 i/s/b {p99['interactive']:.0f}/"
+                    f"{p99['standard']:.0f}/{p99['batch']:.0f}s "
+                    f"fair={result['fairness_index']:.3f} "
+                    f"starved={result['starvation_events']}"
+                )
+                continue
             if "speedup_ci" not in result:
                 measured = record.get("measured", {}).get(result["name"], {})
                 print(

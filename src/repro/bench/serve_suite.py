@@ -1,0 +1,151 @@
+"""The ``serve`` suite: load-tested latency SLOs for the benchmark server.
+
+Each case runs the deterministic load generator
+(:mod:`repro.serve.loadgen`) at a fixed scale and seed, then gates on
+three properties of the *simulated* outcome:
+
+- **SLO**: per-priority-class p99 latency under the published ceilings,
+  the Jain fairness index above its floor, zero starvation events
+  (:data:`repro.serve.loadgen.DEFAULT_SLO`).
+- **determinism**: the same config run twice yields a byte-identical
+  report — the precondition for gating on simulated numbers at all.
+- **conservation**: every submitted job completes (closed-loop clients
+  retry typed rejections, so nothing may be silently dropped).
+
+Everything the gate reads is simulated and therefore digest-keyed; only
+the wall-clock cost of running the simulation itself goes under the
+``measured`` field, which :meth:`BenchStore.append` excludes from the
+record digest — reruns on unchanged code converge on one trajectory
+record in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bench.store import BenchStore, environment_fingerprint
+from repro.hardware.devices import QUADRO_P4000
+from repro.observability.tracer import trace_span
+from repro.serve.loadgen import (
+    DEFAULT_SLO,
+    LoadGenConfig,
+    evaluate_slo,
+    run_loadgen,
+)
+
+SUITE_NAME = "serve"
+
+#: (name, LoadGenConfig) scenarios: CI scale and full acceptance scale.
+SERVE_CASES = (
+    ("smoke-200", LoadGenConfig(clients=200, seed=7)),
+    ("heavy-1000", LoadGenConfig(clients=1000, seed=7)),
+)
+
+
+@dataclass(frozen=True)
+class ServeCaseResult:
+    """One load scenario's deterministic outcome plus its wall cost."""
+
+    name: str
+    report_doc: dict
+    breaches: tuple
+    deterministic: bool
+    wall_s: float
+
+    @property
+    def conserved(self) -> bool:
+        return self.report_doc["completed"] == self.report_doc["submitted"]
+
+    @property
+    def guards_ok(self) -> bool:
+        return not self.breaches and self.deterministic and self.conserved
+
+    def guard_doc(self) -> dict:
+        """The digest-keyed (deterministic) half of the result."""
+        classes = self.report_doc["classes"]
+        return {
+            "name": self.name,
+            "clients": self.report_doc["config"]["clients"],
+            "seed": self.report_doc["config"]["seed"],
+            "submitted": self.report_doc["submitted"],
+            "completed": self.report_doc["completed"],
+            "starvation_events": self.report_doc["starvation_events"],
+            "fairness_index": self.report_doc["fairness_index"],
+            "latency_p99_s": {
+                name: stats["latency_p99_s"] for name, stats in classes.items()
+            },
+            "rejected_by_code": self.report_doc["rejected_by_code"],
+            "deterministic": self.deterministic,
+            "breaches": list(self.breaches),
+        }
+
+    def measured_doc(self) -> dict:
+        """The volatile (wall-clock) half of the result."""
+        return {"wall_s": self.wall_s}
+
+    def format_row(self) -> str:
+        status = "ok" if self.guards_ok else "SLO-FAIL"
+        p99 = self.guard_doc()["latency_p99_s"]
+        return (
+            f"{self.name:<12} n={self.report_doc['completed']:<5d} "
+            f"p99 i/s/b {p99['interactive']:.0f}/{p99['standard']:.0f}/"
+            f"{p99['batch']:.0f}s "
+            f"fair {self.report_doc['fairness_index']:.3f} "
+            f"starved {self.report_doc['starvation_events']} {status}"
+        )
+
+
+def _run_case(name: str, config: LoadGenConfig) -> ServeCaseResult:
+    start = time.perf_counter()
+    report = run_loadgen(config)
+    wall = time.perf_counter() - start
+    rerun = run_loadgen(config)
+    return ServeCaseResult(
+        name=name,
+        report_doc=report.to_doc(),
+        breaches=tuple(evaluate_slo(report)),
+        deterministic=report.to_json() == rerun.to_json(),
+        wall_s=wall,
+    )
+
+
+def run_serve_suite(cases=SERVE_CASES):
+    """Run every load scenario; returns the :class:`ServeCaseResult` list."""
+    results = []
+    with trace_span("bench.serve_suite", cases=len(cases)):
+        for name, config in cases:
+            results.append(_run_case(name, config))
+    return results
+
+
+def gate_doc_for(results) -> dict:
+    """The gate verdict: SLO, determinism, and conservation guards."""
+    failures = sorted(
+        result.name for result in results if not result.guards_ok
+    )
+    return {"passed": not failures, "failures": failures}
+
+
+def build_serve_record(results, gpu=QUADRO_P4000) -> dict:
+    return {
+        "suite": SUITE_NAME,
+        "slo": DEFAULT_SLO,
+        "environment": environment_fingerprint(gpu=gpu),
+        "results": [result.guard_doc() for result in results],
+        "measured": {result.name: result.measured_doc() for result in results},
+        "gate": gate_doc_for(results),
+    }
+
+
+def run_and_record(store_dir: str, cases=SERVE_CASES):
+    """Run the suite and append one trajectory record; returns
+    ``(results, gate_doc, path)``."""
+    results = run_serve_suite(cases=cases)
+    store = BenchStore(store_dir)
+    store.append(
+        SUITE_NAME,
+        build_serve_record(results),
+        volatile=("measured",),
+    )
+    return results, gate_doc_for(results), store.path(SUITE_NAME)

@@ -285,6 +285,72 @@ class SweepEngine:
     # grid execution
     # ------------------------------------------------------------------
 
+    def _validate_specs(self, specs) -> None:
+        """Fail fast on any malformed spec, before any point computes or
+        any cache entry is touched."""
+        for spec in specs:
+            model = get_model(spec.model)
+            if not model.supports(spec.framework):
+                raise ValueError(
+                    f"the paper has no {spec.framework} implementation of "
+                    f"{model.display_name} (available: {model.frameworks})"
+                )
+            if spec.faults:
+                from repro.faults.spec import parse_fault_spec
+
+                parse_fault_spec(spec.faults)
+            transforms = getattr(spec, "transforms", "")
+            if transforms:
+                if spec.faults:
+                    raise ValueError(
+                        f"a point cannot combine faults and transforms "
+                        f"(got faults={spec.faults!r}, "
+                        f"transforms={transforms!r}): the fault trainer "
+                        f"replays the untransformed plan"
+                    )
+                from repro.plan.pipeline import parse_transform_spec
+
+                parse_transform_spec(transforms)
+
+    def _key_for(self, spec: PointSpec) -> str:
+        """Content-address of one point under this engine's devices."""
+        return point_key(
+            spec.model,
+            spec.framework,
+            spec.batch_size,
+            gpu=self.gpu,
+            cpu=self.cpu,
+            faults=spec.faults,
+            transforms=getattr(spec, "transforms", ""),
+        )
+
+    def _config_for(self, spec: PointSpec) -> dict:
+        """Human-readable entry metadata stored alongside a payload."""
+        config = {
+            "model": spec.model,
+            "framework": spec.framework,
+            "batch_size": spec.batch_size,
+            "gpu": self.gpu.name,
+            "cpu": self.cpu.name,
+        }
+        if spec.faults:
+            config["faults"] = spec.faults
+        if getattr(spec, "transforms", ""):
+            config["transforms"] = spec.transforms
+        return config
+
+    def _load_cached(self, key: str) -> dict | None:
+        """Cache probe for one key; a decoded-but-invalid payload is
+        discarded (counted as damage) and reported as a miss."""
+        payload = self.cache.load(key)
+        if payload is not None:
+            try:
+                payload_to_point(payload)
+            except ValueError as exc:
+                self.cache.discard(key, str(exc))
+                payload = None
+        return payload
+
     def run_grid(self, specs) -> list:
         """Execute every :class:`PointSpec`, in grid order, and return one
         :class:`~repro.core.suite.SweepPoint` per spec."""
@@ -292,53 +358,15 @@ class SweepEngine:
         with trace_span(
             "engine.run_grid", jobs=self.jobs, points=len(specs)
         ) as grid_span:
-            for spec in specs:
-                model = get_model(spec.model)
-                if not model.supports(spec.framework):
-                    raise ValueError(
-                        f"the paper has no {spec.framework} implementation of "
-                        f"{model.display_name} (available: {model.frameworks})"
-                    )
-                if spec.faults:
-                    # Fail fast on a malformed scenario, before any point
-                    # computes or any cache entry is touched.
-                    from repro.faults.spec import parse_fault_spec
-
-                    parse_fault_spec(spec.faults)
-                transforms = getattr(spec, "transforms", "")
-                if transforms:
-                    if spec.faults:
-                        raise ValueError(
-                            f"a point cannot combine faults and transforms "
-                            f"(got faults={spec.faults!r}, "
-                            f"transforms={transforms!r}): the fault trainer "
-                            f"replays the untransformed plan"
-                        )
-                    from repro.plan.pipeline import parse_transform_spec
-
-                    parse_transform_spec(transforms)
+            self._validate_specs(specs)
             results: list = []
             missing: list = []
             keys: list = [None] * len(specs)
             for index, spec in enumerate(specs):
                 payload = None
                 if self.cache is not None:
-                    keys[index] = point_key(
-                        spec.model,
-                        spec.framework,
-                        spec.batch_size,
-                        gpu=self.gpu,
-                        cpu=self.cpu,
-                        faults=spec.faults,
-                        transforms=getattr(spec, "transforms", ""),
-                    )
-                    payload = self.cache.load(keys[index])
-                    if payload is not None:
-                        try:
-                            payload_to_point(payload)
-                        except ValueError as exc:
-                            self.cache.discard(keys[index], str(exc))
-                            payload = None
+                    keys[index] = self._key_for(spec)
+                    payload = self._load_cached(keys[index])
                 if payload is not None:
                     self._stats.cache_hits += 1
                     get_metrics().counter("engine_cache_hits_total").inc()
@@ -353,24 +381,61 @@ class SweepEngine:
             computed = self._execute(missing)
             for index, payload in computed:
                 if self.cache is not None:
-                    spec = specs[index]
-                    config = {
-                        "model": spec.model,
-                        "framework": spec.framework,
-                        "batch_size": spec.batch_size,
-                        "gpu": self.gpu.name,
-                        "cpu": self.cpu.name,
-                    }
-                    if spec.faults:
-                        config["faults"] = spec.faults
-                    if getattr(spec, "transforms", ""):
-                        config["transforms"] = spec.transforms
-                    self.cache.store(keys[index], payload, config=config)
+                    self.cache.store(
+                        keys[index], payload, config=self._config_for(specs[index])
+                    )
             results.extend(computed)
             grid_span.set_attributes(
                 cache_hits=len(specs) - len(missing), computed=len(missing)
             )
         return [payload_to_point(payload) for payload in merge_ordered(len(specs), results)]
+
+    def iter_grid(self, specs):
+        """Lazily execute a grid, yielding ``(index, spec, SweepPoint)``
+        in grid order as each point completes.
+
+        This is the streaming path of the serve layer: a consumer sees
+        partial results the moment each point lands instead of waiting
+        for the whole grid.  Points compute inline in this process (no
+        pool — a streaming consumer wants the first result early, not
+        batch throughput), reuse one session dict across the grid like a
+        pool worker chunk does, and read/write the same content-addressed
+        cache as :meth:`run_grid`, so interleaving the two paths is
+        byte-identical to running either alone.
+        """
+        specs = list(specs)
+        with trace_span(
+            "engine.iter_grid", points=len(specs)
+        ) as grid_span:
+            self._validate_specs(specs)
+            sessions: dict = {}
+            computed = 0
+            for index, spec in enumerate(specs):
+                payload = None
+                key = None
+                if self.cache is not None:
+                    key = self._key_for(spec)
+                    payload = self._load_cached(key)
+                if payload is not None:
+                    self._stats.cache_hits += 1
+                    get_metrics().counter("engine_cache_hits_total").inc()
+                    self._record_point_span(spec, "cache")
+                else:
+                    if self.cache is not None:
+                        self._stats.cache_misses += 1
+                        get_metrics().counter("engine_cache_misses_total").inc()
+                    ((_, payload),) = self._compute_inline(
+                        [(index, spec)], sessions=sessions
+                    )
+                    computed += 1
+                    if self.cache is not None:
+                        self.cache.store(
+                            key, payload, config=self._config_for(spec)
+                        )
+                grid_span.set_attributes(
+                    cache_hits=index + 1 - computed, computed=computed
+                )
+                yield index, spec, payload_to_point(payload)
 
     def _execute(self, missing) -> list:
         """Compute every missing ``(index, spec)`` pair; any-order output."""
@@ -420,9 +485,15 @@ class SweepEngine:
                 results.extend(chunk_results)
         return results
 
-    def _compute_inline(self, items) -> list:
-        """Serial fallback/primary path, executed in this process."""
-        sessions: dict = {}
+    def _compute_inline(self, items, sessions=None) -> list:
+        """Serial fallback/primary path, executed in this process.
+
+        ``sessions`` lets a streaming caller (:meth:`iter_grid`) reuse
+        compiled sessions across single-point calls, matching the
+        session reuse a batch chunk gets for free.
+        """
+        if sessions is None:
+            sessions = {}
         results = []
         for index, spec in items:
             with trace_span(

@@ -1,0 +1,69 @@
+"""Sweep-as-a-service: the multi-tenant async benchmark server.
+
+Layers, bottom-up:
+
+- :mod:`repro.serve.jobs` — content-addressed job requests, priority
+  classes, and the deterministic event-stream wire format.
+- :mod:`repro.serve.admission` — typed admission control (bounded queue,
+  per-tenant quotas) and the smooth-weighted-round-robin fair scheduler.
+- :mod:`repro.serve.shardcache` — a locked, LRU-evicting, byte-budgeted
+  shard facade over the engine's content-addressed result cache.
+- :mod:`repro.serve.service` — the asyncio server: worker pool,
+  streaming partial results, duplicate-submission coalescing.
+- :mod:`repro.serve.loadgen` — a seeded discrete-event load generator
+  that drives the real scheduler with thousands of simulated clients
+  and reports the p50/p99 latency SLO per priority class.
+"""
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionError,
+    FairScheduler,
+    QueueFullError,
+    QueuedJob,
+    ServerClosedError,
+    TenantQuotaError,
+    UnknownPriorityError,
+)
+from repro.serve.jobs import (
+    DEFAULT_PRIORITY,
+    JOB_KINDS,
+    PRIORITIES,
+    PRIORITY_WEIGHTS,
+    JobEvent,
+    JobRequest,
+)
+from repro.serve.loadgen import (
+    DEFAULT_SLO,
+    LoadGenConfig,
+    LoadGenReport,
+    evaluate_slo,
+    run_loadgen,
+)
+from repro.serve.service import BenchmarkServer, JobHandle
+from repro.serve.shardcache import ShardedResultCache
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionError",
+    "BenchmarkServer",
+    "DEFAULT_PRIORITY",
+    "DEFAULT_SLO",
+    "FairScheduler",
+    "JOB_KINDS",
+    "JobEvent",
+    "JobHandle",
+    "JobRequest",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "PRIORITIES",
+    "PRIORITY_WEIGHTS",
+    "QueueFullError",
+    "QueuedJob",
+    "ServerClosedError",
+    "ShardedResultCache",
+    "TenantQuotaError",
+    "UnknownPriorityError",
+    "evaluate_slo",
+    "run_loadgen",
+]

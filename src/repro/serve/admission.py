@@ -1,0 +1,268 @@
+"""Admission control and fair scheduling for the benchmark service.
+
+Two cooperating pieces, both synchronous and lock-free by design (the
+server serializes access under its own asyncio lock; the load generator
+drives them directly on a simulated clock):
+
+- admission: a submission is rejected *typed* — :class:`QueueFullError`
+  when the global queue depth bound is hit, :class:`TenantQuotaError`
+  when one tenant holds its per-tenant share, :class:`UnknownPriorityError`
+  for a class outside :data:`repro.serve.jobs.PRIORITIES` — so clients
+  can distinguish "back off" from "you are the problem" from "fix your
+  request".
+- scheduling: a smooth weighted round-robin across priority classes
+  (the nginx upstream algorithm: each pick raises every non-empty
+  class's credit by its weight, takes the class with the most credit,
+  and debits the winner by the total active weight) combined with
+  per-tenant round-robin *within* each class.  Together they give the
+  two fairness properties the conformance suite checks: a class with
+  queued work is picked at a bounded-ratio share (no class starves),
+  and within a class no tenant is picked twice before every other
+  waiting tenant is picked once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.serve.jobs import PRIORITIES, PRIORITY_WEIGHTS
+
+
+class AdmissionError(Exception):
+    """Base of all typed submission rejections.
+
+    Attributes:
+        code: stable machine-readable rejection code (wire field).
+    """
+
+    code = "rejected"
+
+
+class QueueFullError(AdmissionError):
+    """The global queue depth bound is exhausted; back off and retry."""
+
+    code = "queue-full"
+
+
+class TenantQuotaError(AdmissionError):
+    """The submitting tenant already holds its per-tenant queue share."""
+
+    code = "tenant-quota"
+
+
+class UnknownPriorityError(AdmissionError):
+    """The submission named a priority class that does not exist."""
+
+    code = "unknown-priority"
+
+
+class ServerClosedError(AdmissionError):
+    """The server is draining or stopped and accepts no new work."""
+
+    code = "server-closed"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounds the scheduler enforces.
+
+    Attributes:
+        max_depth: global bound on queued (admitted, unstarted) jobs.
+        tenant_depth: per-tenant bound across all priority classes;
+            keeps one chatty tenant from filling the global queue.
+        weights: priority-class weight table; defaults to
+            :data:`repro.serve.jobs.PRIORITY_WEIGHTS`.
+    """
+
+    max_depth: int = 256
+    tenant_depth: int = 32
+    weights: tuple = PRIORITY_WEIGHTS
+
+    def __post_init__(self):
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.tenant_depth < 1:
+            raise ValueError(
+                f"tenant_depth must be >= 1, got {self.tenant_depth}"
+            )
+        if self.tenant_depth > self.max_depth:
+            raise ValueError(
+                f"tenant_depth {self.tenant_depth} exceeds max_depth "
+                f"{self.max_depth}: the per-tenant bound could never bind"
+            )
+        names = tuple(name for name, _ in self.weights)
+        if len(set(names)) != len(names) or not names:
+            raise ValueError(f"weights must name distinct classes: {names}")
+        for name, weight in self.weights:
+            if weight < 1:
+                raise ValueError(f"class {name!r} weight must be >= 1")
+
+    @property
+    def classes(self) -> tuple:
+        """Priority class names in declared order."""
+        return tuple(name for name, _ in self.weights)
+
+    def weight(self, priority: str) -> int:
+        for name, weight in self.weights:
+            if name == priority:
+                return weight
+        raise UnknownPriorityError(
+            f"unknown priority {priority!r}; known: {self.classes}"
+        )
+
+
+@dataclass
+class QueuedJob:
+    """One admitted-but-unstarted job as the scheduler tracks it."""
+
+    job_id: str
+    tenant: str
+    priority: str
+    payload: object = None
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class _ClassQueue:
+    """Per-priority-class state: tenant FIFOs plus a rotation order."""
+
+    # tenant -> FIFO of that tenant's queued jobs in this class.  The
+    # OrderedDict order IS the round-robin rotation: the front tenant is
+    # picked next, then moved to the back (or dropped when drained).
+    tenants: OrderedDict = field(default_factory=OrderedDict)
+    credit: int = 0
+
+    def __len__(self) -> int:
+        return sum(len(fifo) for fifo in self.tenants.values())
+
+    def push(self, job: QueuedJob) -> None:
+        fifo = self.tenants.get(job.tenant)
+        if fifo is None:
+            fifo = self.tenants[job.tenant] = deque()
+        fifo.append(job)
+
+    def pop(self) -> QueuedJob:
+        tenant, fifo = next(iter(self.tenants.items()))
+        job = fifo.popleft()
+        del self.tenants[tenant]
+        if fifo:
+            # Rotate a still-waiting tenant to the back of the order.
+            self.tenants[tenant] = fifo
+        return job
+
+
+class FairScheduler:
+    """Bounded multi-tenant queue with weighted-fair class selection.
+
+    Not thread-safe: callers (the asyncio server under its lock, the
+    single-threaded load generator) serialize access.
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._classes = OrderedDict(
+            (name, _ClassQueue()) for name in self.config.classes
+        )
+        self._tenant_depth: dict = {}
+        self._depth = 0
+        self.admitted_total = 0
+        self.rejected = {
+            QueueFullError.code: 0,
+            TenantQuotaError.code: 0,
+            UnknownPriorityError.code: 0,
+        }
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth_of(self, tenant: str) -> int:
+        """Queued jobs currently held by one tenant."""
+        return self._tenant_depth.get(tenant, 0)
+
+    def class_depths(self) -> dict:
+        """Queued jobs per priority class (for status/telemetry)."""
+        return {name: len(cq) for name, cq in self._classes.items()}
+
+    def admit(self, job: QueuedJob) -> None:
+        """Admit one job or raise a typed :class:`AdmissionError`.
+
+        Check order is fixed — priority validity, global depth, tenant
+        quota — so a rejection code is deterministic for a given state.
+        """
+        if job.priority not in self._classes:
+            self.rejected[UnknownPriorityError.code] += 1
+            raise UnknownPriorityError(
+                f"unknown priority {job.priority!r}; "
+                f"known: {self.config.classes}"
+            )
+        if self._depth >= self.config.max_depth:
+            self.rejected[QueueFullError.code] += 1
+            raise QueueFullError(
+                f"queue depth {self._depth} at bound {self.config.max_depth}"
+            )
+        if self.depth_of(job.tenant) >= self.config.tenant_depth:
+            self.rejected[TenantQuotaError.code] += 1
+            raise TenantQuotaError(
+                f"tenant {job.tenant!r} holds {self.depth_of(job.tenant)} "
+                f"queued jobs at quota {self.config.tenant_depth}"
+            )
+        self._classes[job.priority].push(job)
+        self._tenant_depth[job.tenant] = self.depth_of(job.tenant) + 1
+        self._depth += 1
+        self.admitted_total += 1
+
+    def pick(self) -> QueuedJob | None:
+        """Dequeue the next job under smooth weighted round-robin.
+
+        Returns ``None`` when nothing is queued.  Only non-empty classes
+        accrue credit, so a class cannot bank priority while idle and
+        then monopolize the workers on arrival.
+        """
+        active = [
+            (name, cq)
+            for name, cq in self._classes.items()
+            if len(cq) > 0
+        ]
+        if not active:
+            return None
+        total = 0
+        for name, cq in active:
+            cq.credit += self.config.weight(name)
+            total += self.config.weight(name)
+        best = max(active, key=lambda item: item[1].credit)[1]
+        best.credit -= total
+        job = best.pop()
+        if len(best) == 0:
+            # A drained class forfeits leftover credit (smoothness: an
+            # idle class restarts from zero, it does not bank shares).
+            best.credit = 0
+        self._tenant_depth[job.tenant] -= 1
+        if self._tenant_depth[job.tenant] == 0:
+            del self._tenant_depth[job.tenant]
+        self._depth -= 1
+        return job
+
+    def snapshot(self) -> dict:
+        """Deterministic queue-state document for status/telemetry."""
+        return {
+            "depth": self._depth,
+            "max_depth": self.config.max_depth,
+            "tenant_depth_bound": self.config.tenant_depth,
+            "classes": self.class_depths(),
+            "tenants": dict(sorted(self._tenant_depth.items())),
+            "admitted_total": self.admitted_total,
+            "rejected": dict(self.rejected),
+        }
+
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionError",
+    "FairScheduler",
+    "QueueFullError",
+    "QueuedJob",
+    "ServerClosedError",
+    "TenantQuotaError",
+    "UnknownPriorityError",
+]

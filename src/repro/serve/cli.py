@@ -1,0 +1,281 @@
+"""``tbd serve`` — run, drive, and load-test the benchmark service.
+
+Subcommands:
+
+- ``tbd serve run`` — start a server, feed it a JSONL job file (or the
+  built-in demo workload), stream every event, and print the final
+  status snapshot.
+- ``tbd serve submit KIND MODEL`` — one-shot client: submit one job to
+  a fresh server and stream its events to stdout.
+- ``tbd serve status`` — inspect a sharded cache directory offline
+  (entries, bytes, shard occupancy).
+- ``tbd serve loadgen`` — the deterministic load generator: simulate
+  thousands of closed-loop clients against the real admission
+  controller and report p50/p99 latency, throughput, rejections, and
+  fairness per priority class; ``--gate`` makes SLO breaches exit 1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve.admission import AdmissionConfig, AdmissionError
+from repro.serve.jobs import DEFAULT_PRIORITY, JOB_KINDS, JobRequest
+from repro.serve.loadgen import LoadGenConfig, evaluate_slo, run_loadgen
+
+
+def _request_from_doc(doc: dict) -> JobRequest:
+    """A :class:`JobRequest` from one JSONL job document."""
+    return JobRequest(
+        kind=doc.get("kind", "sweep"),
+        model=doc["model"],
+        framework=doc.get("framework", "tensorflow"),
+        batch_sizes=tuple(doc.get("batch_sizes", ())),
+        batch_size=doc.get("batch_size"),
+        faults=doc.get("faults", ""),
+        transforms=doc.get("transforms", ""),
+        gpu=doc.get("gpu", "p4000"),
+        budget=doc.get("budget"),
+    )
+
+
+def _demo_jobs() -> list:
+    """The built-in multi-tenant demo workload for ``serve run --demo``."""
+    return [
+        {"kind": "sweep", "model": "resnet-50", "framework": "tensorflow",
+         "tenant": "vision-team", "priority": "interactive"},
+        {"kind": "sweep", "model": "resnet-50", "framework": "tensorflow",
+         "tenant": "infra-team", "priority": "batch"},  # coalesces
+        {"kind": "conformance", "model": "alexnet", "framework": "mxnet",
+         "tenant": "qa-team", "priority": "standard"},
+        {"kind": "fault", "model": "resnet-50", "framework": "mxnet",
+         "batch_size": 32, "faults": "cluster=2M1G:1gbe; steps=20; crash=1@10",
+         "tenant": "chaos-team", "priority": "batch"},
+        {"kind": "tune", "model": "nmt", "framework": "tensorflow",
+         "batch_size": 64, "budget": 4,
+         "tenant": "perf-team", "priority": "standard"},
+    ]
+
+
+def _server_from_args(args):
+    from repro.serve.service import BenchmarkServer
+
+    return BenchmarkServer(
+        cache_dir=args.cache_dir,
+        shards=args.shards,
+        byte_budget=args.byte_budget,
+        workers=args.workers,
+        admission=AdmissionConfig(
+            max_depth=args.max_depth, tenant_depth=args.tenant_depth
+        ),
+        event_log=getattr(args, "event_log", None),
+    )
+
+
+def _print_event(event, verbose: bool) -> None:
+    if verbose:
+        print(event.to_json())
+        return
+    data = event.data
+    if event.kind == "point":
+        record = data["record"]
+        state = "OOM" if record["oom"] else "ok"
+        print(
+            f"{event.job_id} point {data['index'] + 1}/{data['total']} "
+            f"b={record['batch_size']} {state}"
+        )
+    elif event.kind == "failed":
+        print(f"{event.job_id} FAILED: {data.get('error')}")
+    else:
+        print(f"{event.job_id} {event.kind}")
+
+
+def _cmd_run(args) -> int:
+    if args.jobs_file:
+        with open(args.jobs_file, encoding="utf-8") as handle:
+            docs = [json.loads(line) for line in handle if line.strip()]
+    else:
+        docs = _demo_jobs()
+
+    async def drive() -> int:
+        failures = 0
+        async with _server_from_args(args) as server:
+            handles = []
+            for doc in docs:
+                try:
+                    handles.append(
+                        await server.submit(
+                            _request_from_doc(doc),
+                            tenant=doc.get("tenant", "default"),
+                            priority=doc.get("priority", DEFAULT_PRIORITY),
+                        )
+                    )
+                except (AdmissionError, ValueError) as exc:
+                    failures += 1
+                    code = getattr(exc, "code", "invalid")
+                    print(f"rejected [{code}]: {exc}")
+            for handle in handles:
+                async for event in handle.events():
+                    _print_event(event, args.verbose)
+                    if event.kind == "failed":
+                        failures += 1
+            print(json.dumps(server.status(), indent=2, sort_keys=True))
+        return 1 if failures else 0
+
+    return asyncio.run(drive())
+
+
+def _cmd_submit(args) -> int:
+    request = JobRequest(
+        kind=args.kind,
+        model=args.model,
+        framework=args.framework,
+        batch_sizes=tuple(args.batches or ()),
+        batch_size=args.batch,
+        faults=args.faults or "",
+        transforms=args.transforms or "",
+        gpu=args.gpu,
+        budget=args.budget,
+    )
+
+    async def drive() -> int:
+        async with _server_from_args(args) as server:
+            try:
+                handle = await server.submit(
+                    request, tenant=args.tenant, priority=args.priority
+                )
+            except (AdmissionError, ValueError) as exc:
+                code = getattr(exc, "code", "invalid")
+                print(f"rejected [{code}]: {exc}")
+                return 2
+            failed = False
+            async for event in handle.events():
+                _print_event(event, args.verbose)
+                failed = failed or event.kind == "failed"
+            return 1 if failed else 0
+
+    return asyncio.run(drive())
+
+
+def _cmd_status(args) -> int:
+    from repro.serve.shardcache import ShardedResultCache
+
+    cache = ShardedResultCache(
+        args.cache_dir, shards=args.shards, byte_budget=args.byte_budget
+    )
+    print(json.dumps(cache.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    config = LoadGenConfig(
+        clients=args.clients,
+        tenants=args.tenants,
+        workers=args.workers,
+        jobs_per_client=args.jobs_per_client,
+        seed=args.seed,
+        admission=AdmissionConfig(
+            max_depth=args.max_depth, tenant_depth=args.tenant_depth
+        ),
+    )
+    report = run_loadgen(config)
+    print(report.format_report())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.report}")
+    if args.gate:
+        breaches = evaluate_slo(report)
+        if breaches:
+            print("SLO BREACHED:")
+            for breach in breaches:
+                print(f"  {breach}")
+            return 1
+        print("SLO ok")
+    return 0
+
+
+def _add_server_arguments(parser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="sharded result-cache root (default: uncached)",
+    )
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument(
+        "--byte-budget", type=int, default=None,
+        help="cache byte ceiling across all shards (LRU-evicted)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-depth", type=int, default=256)
+    parser.add_argument("--tenant-depth", type=int, default=32)
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print raw JSONL events instead of summaries",
+    )
+
+
+def register_serve_command(sub) -> None:
+    """Attach ``tbd serve`` and its subcommands to the parser."""
+    serve = sub.add_parser(
+        "serve", help="the multi-tenant benchmark service + load generator"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    run = serve_sub.add_parser(
+        "run", help="serve a JSONL job file (or the demo workload)"
+    )
+    run.add_argument(
+        "--jobs-file", default=None,
+        help='JSONL: {"kind","model","framework","tenant","priority",...}',
+    )
+    run.add_argument(
+        "--event-log", default=None, help="append every event here as JSONL"
+    )
+    _add_server_arguments(run)
+    run.set_defaults(func=_cmd_run)
+
+    submit = serve_sub.add_parser("submit", help="one-shot job submission")
+    submit.add_argument("kind", choices=JOB_KINDS)
+    submit.add_argument("model")
+    submit.add_argument("-f", "--framework", default="tensorflow")
+    submit.add_argument("-b", "--batch", type=int, default=None)
+    submit.add_argument(
+        "--batches", type=int, nargs="+", default=None,
+        help="explicit sweep batch sizes (default: the paper sweep)",
+    )
+    submit.add_argument("--faults", default=None)
+    submit.add_argument("--transforms", default=None)
+    submit.add_argument("-g", "--gpu", default="p4000")
+    submit.add_argument("--budget", type=int, default=None)
+    submit.add_argument("--tenant", default="cli")
+    submit.add_argument("--priority", default=DEFAULT_PRIORITY)
+    _add_server_arguments(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = serve_sub.add_parser(
+        "status", help="inspect a sharded cache directory"
+    )
+    status.add_argument("--cache-dir", required=True)
+    status.add_argument("--shards", type=int, default=8)
+    status.add_argument("--byte-budget", type=int, default=None)
+    status.set_defaults(func=_cmd_status)
+
+    loadgen = serve_sub.add_parser(
+        "loadgen", help="deterministic load test against the real scheduler"
+    )
+    loadgen.add_argument("--clients", type=int, default=200)
+    loadgen.add_argument("--tenants", type=int, default=8)
+    loadgen.add_argument("--workers", type=int, default=8)
+    loadgen.add_argument("--jobs-per-client", type=int, default=2)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--max-depth", type=int, default=256)
+    loadgen.add_argument("--tenant-depth", type=int, default=32)
+    loadgen.add_argument(
+        "--report", default=None, help="write the canonical JSON report here"
+    )
+    loadgen.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when the report breaches the default SLO",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)

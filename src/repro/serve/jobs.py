@@ -1,0 +1,207 @@
+"""Job model of the benchmark service: requests, priorities, events.
+
+A :class:`JobRequest` is the tenant-facing unit of work — one sweep,
+conformance, fault, or tune request over the existing engine/conformance/
+tune layers.  Requests are frozen and content-addressed
+(:meth:`JobRequest.fingerprint`), which is what lets the server coalesce
+concurrent duplicate submissions onto one execution: the fingerprint
+deliberately excludes the tenant and the priority class, mirroring how
+:data:`repro.engine.keys.NON_KEY_RUN_DIMENSIONS` keeps measurement-layer
+state out of the result cache.
+
+Execution is observable as an ordered stream of :class:`JobEvent`
+records — ``queued``/``started``, one ``point`` per completed grid point
+(the streaming partial results), and a terminal ``done``/``failed`` —
+whose JSON form is deterministic: no wall-clock fields, canonical key
+order, so a drained stream can be written as byte-stable JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executor import PointSpec
+from repro.engine.keys import canonical_json, digest
+
+#: Priority classes, highest service share first, with their scheduler
+#: weights (a weight-4 class receives 4x the picks of a weight-1 class
+#: while both have queued jobs — proportional share, never preemption).
+PRIORITY_WEIGHTS = (
+    ("interactive", 4),
+    ("standard", 2),
+    ("batch", 1),
+)
+
+#: Priority class names in declared (descending-weight) order.
+PRIORITIES = tuple(name for name, _ in PRIORITY_WEIGHTS)
+
+#: The default class for submissions that do not name one.
+DEFAULT_PRIORITY = "standard"
+
+#: Request kinds the service executes.
+JOB_KINDS = ("sweep", "conformance", "fault", "tune")
+
+#: Event kinds, in lifecycle order; ``point`` repeats per grid point.
+EVENT_KINDS = ("queued", "started", "point", "done", "failed")
+
+#: Terminal event kinds: after one of these a job's stream ends.
+TERMINAL_EVENTS = ("done", "failed")
+
+
+def priority_weight(priority: str) -> int:
+    """Scheduler weight of one priority class.
+
+    Raises:
+        KeyError: for a name outside :data:`PRIORITIES`.
+    """
+    for name, weight in PRIORITY_WEIGHTS:
+        if name == priority:
+            return weight
+    raise KeyError(f"unknown priority {priority!r}; known: {PRIORITIES}")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One unit of service work.
+
+    ``kind`` selects the execution path:
+
+    - ``sweep``: the model's batch sweep (``batch_sizes`` or the paper
+      default), optionally under a ``transforms`` pipeline, streamed one
+      point at a time.
+    - ``conformance``: the same sweep, then every sweep-scope invariant
+      of :mod:`repro.conformance` checked over it; the terminal event
+      carries the verdict.
+    - ``fault``: one point replayed under the ``faults`` scenario text.
+    - ``tune``: the cost-model autotuner ranked over the point (no A/B
+      confirmation; ``budget`` caps the candidate count).
+    """
+
+    kind: str
+    model: str
+    framework: str
+    batch_sizes: tuple = ()
+    batch_size: int | None = None
+    faults: str = ""
+    transforms: str = ""
+    gpu: str = "p4000"
+    budget: int | None = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on a malformed request, before admission.
+
+        Validation is deliberately exhaustive here — a job must never be
+        admitted, queued, and only then discovered to be unrunnable.
+        """
+        from repro.hardware.devices import get_gpu
+        from repro.models.registry import get_model
+
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; known: {JOB_KINDS}"
+            )
+        spec = get_model(self.model)
+        if not spec.supports(self.framework):
+            raise ValueError(
+                f"the paper has no {self.framework} implementation of "
+                f"{spec.display_name} (available: {spec.frameworks})"
+            )
+        get_gpu(self.gpu)
+        if self.kind == "fault":
+            if not self.faults:
+                raise ValueError("a fault job requires a fault scenario text")
+            from repro.faults.spec import parse_fault_spec
+
+            parse_fault_spec(self.faults)
+        elif self.faults:
+            raise ValueError(
+                f"only fault jobs carry a fault scenario (kind={self.kind!r})"
+            )
+        if self.transforms:
+            if self.kind not in ("sweep", "conformance"):
+                raise ValueError(
+                    f"only sweep-shaped jobs carry a transform pipeline "
+                    f"(kind={self.kind!r})"
+                )
+            from repro.plan.pipeline import parse_transform_spec
+
+            parse_transform_spec(self.transforms)
+
+    def resolved_batches(self) -> tuple:
+        """The batch sizes this request sweeps (or its single batch)."""
+        from repro.models.registry import get_model
+
+        spec = get_model(self.model)
+        if self.kind in ("sweep", "conformance"):
+            sizes = self.batch_sizes or tuple(spec.batch_sizes)
+            return tuple(int(size) for size in sizes)
+        batch = self.batch_size if self.batch_size else spec.reference_batch
+        return (int(batch),)
+
+    def point_specs(self) -> list:
+        """The engine grid this request expands to (empty for ``tune``)."""
+        if self.kind == "tune":
+            return []
+        return [
+            PointSpec(
+                self.model,
+                self.framework,
+                batch,
+                self.faults,
+                self.transforms,
+            )
+            for batch in self.resolved_batches()
+        ]
+
+    def to_doc(self) -> dict:
+        """Canonical plain-dict form (the fingerprint input)."""
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "framework": self.framework,
+            "batch_sizes": [int(size) for size in self.batch_sizes],
+            "batch_size": self.batch_size,
+            "faults": self.faults,
+            "transforms": self.transforms,
+            "gpu": self.gpu,
+            "budget": self.budget,
+        }
+
+    def fingerprint(self) -> str:
+        """Content address of the request — tenant- and priority-blind,
+        so identical submissions from different tenants coalesce."""
+        return digest(self.to_doc())
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One record of a job's event stream.
+
+    Deterministic by construction: ``seq`` is the per-job emission index
+    and ``data`` carries only simulated/derived values — never wall-clock
+    timestamps — so two runs of the same job produce byte-identical
+    streams.
+    """
+
+    kind: str
+    job_id: str
+    seq: int
+    data: dict = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        """True when this event ends the job's stream."""
+        return self.kind in TERMINAL_EVENTS
+
+    def to_doc(self) -> dict:
+        """JSON-able form, canonical key order via :func:`to_json`."""
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "data": self.data,
+        }
+
+    def to_json(self) -> str:
+        """One canonical-JSON line (the JSONL wire format)."""
+        return canonical_json(self.to_doc())

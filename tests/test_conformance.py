@@ -57,7 +57,12 @@ class TestRegistries:
         registry = invariant_registry()
         assert len(registry) >= 15
         assert len({inv.name for inv in registry}) == len(registry)
-        assert {inv.scope for inv in registry} == {"point", "sweep", "scaling"}
+        assert {inv.scope for inv in registry} == {
+            "point",
+            "sweep",
+            "scaling",
+            "serve",
+        }
 
     def test_every_invariant_documented_and_resolvable(self):
         for inv in invariant_registry():

@@ -35,6 +35,7 @@ _EXAMPLES = (
     ("fault_sweep.py", "fault injection on the simulated cluster"),
     ("conformance_check.py", "byte-identical report"),
     ("bench_compare.py", "identical across same-seed runs"),
+    ("serve_clients.py", "sweep-as-a-service demo"),
 )
 
 

@@ -1,0 +1,225 @@
+"""Unit tests for the sharded result cache's eviction and accounting.
+
+Three families:
+
+- **LRU order**: under interleaved multi-tenant access patterns the
+  entry evicted is always the least-recently-*used* (loads refresh
+  recency, not just stores);
+- **byte accounting**: the tracked ledger equals what is actually on
+  disk — exactly — including under concurrent inserts from many
+  threads, and the budget is never exceeded at any observable moment;
+- **mutant detection**: if ``_entry_bytes`` under-reports (the classic
+  accounting bug that silently blows a cache budget), the
+  ``serve-cache-budget`` conformance invariant fires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import pytest
+
+from repro.conformance.invariants import ServeEvidence, get_invariant
+from repro.serve.shardcache import ShardedResultCache
+
+
+def _key(tag) -> str:
+    return hashlib.sha256(f"cache-test-{tag}".encode()).hexdigest()
+
+
+def _payload(tag, pad=64) -> dict:
+    return {"tag": str(tag), "pad": "x" * pad}
+
+
+def _single_shard(tmp_path, byte_budget=None, name="cache"):
+    """shards=1 gives deterministic eviction order for LRU assertions."""
+    return ShardedResultCache(
+        str(tmp_path / name), shards=1, byte_budget=byte_budget
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedResultCache(str(tmp_path / "a"), shards=0)
+        with pytest.raises(ValueError):
+            ShardedResultCache(str(tmp_path / "b"), shards=4, byte_budget=3)
+
+    def test_shard_routing_is_stable_and_total(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "c"), shards=4)
+        keys = [_key(i) for i in range(64)]
+        shards = {cache.shard_for(key) for key in keys}
+        assert shards <= set(range(4))
+        assert len(shards) > 1  # sha256 prefixes spread across shards
+        for key in keys:
+            assert cache.shard_for(key) == cache.shard_for(key)
+
+
+class TestLRUOrder:
+    def test_store_only_evicts_oldest_insert(self, tmp_path):
+        entry = _entry_size(tmp_path)
+        cache = _single_shard(tmp_path, byte_budget=entry * 3)
+        for i in range(3):
+            cache.store(_key(i), _payload(i))
+        assert cache.entry_count() == 3
+        cache.store(_key(3), _payload(3))
+        assert cache.load(_key(0)) is None  # oldest fell off
+        assert cache.load(_key(3)) is not None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        entry = _entry_size(tmp_path)
+        cache = _single_shard(tmp_path, byte_budget=entry * 3)
+        for i in range(3):
+            cache.store(_key(i), _payload(i))
+        assert cache.load(_key(0)) is not None  # 0 becomes most recent
+        cache.store(_key(3), _payload(3))
+        # 1 (not 0) is now the least recently used and must be the victim.
+        assert cache.load(_key(1)) is None
+        assert cache.load(_key(0)) is not None
+        assert cache.evictions == 1
+
+    def test_interleaved_tenant_access_protects_hot_set(self, tmp_path):
+        """Tenant A keeps touching its entries while tenant B churns:
+        only B's cold entries are ever evicted."""
+        entry = _entry_size(tmp_path)
+        cache = _single_shard(tmp_path, byte_budget=entry * 4)
+        hot = [_key(("a", i)) for i in range(2)]
+        for i, key in enumerate(hot):
+            cache.store(key, _payload(("a", i)))
+        for i in range(12):
+            cache.store(_key(("b", i)), _payload(("b", i)))
+            for key in hot:  # tenant A touches its working set
+                assert cache.load(key) is not None, f"hot key evicted (i={i})"
+        # Every victim was one of B's (payload sizes vary by a few
+        # bytes with the tag text, so the count is a floor, not exact).
+        assert cache.evictions >= 10
+
+    def test_restore_reinsert_updates_in_place(self, tmp_path):
+        entry = _entry_size(tmp_path)
+        cache = _single_shard(tmp_path, byte_budget=entry * 8)
+        cache.store(_key(0), _payload(0))
+        before = cache.total_bytes()
+        cache.store(_key(0), _payload(0, pad=256))
+        assert cache.entry_count() == 1
+        assert cache.total_bytes() > before
+        assert cache.total_bytes() == cache.disk_bytes()
+
+
+class TestByteAccounting:
+    def test_ledger_matches_disk_exactly(self, tmp_path):
+        cache = ShardedResultCache(str(tmp_path / "acct"), shards=4)
+        for i in range(32):
+            cache.store(_key(i), _payload(i, pad=i * 7))
+        assert cache.total_bytes() == cache.disk_bytes()
+        with pytest.warns(Warning):  # discard reports the damaged entry
+            cache.discard(_key(3), reason="test")
+        assert cache.total_bytes() == cache.disk_bytes()
+
+    def test_budget_never_exceeded(self, tmp_path):
+        budget = 4096
+        cache = ShardedResultCache(
+            str(tmp_path / "budget"), shards=2, byte_budget=budget
+        )
+        for i in range(64):
+            cache.store(_key(i), _payload(i, pad=(i % 13) * 31))
+            assert cache.total_bytes() <= budget
+            assert cache.peak_bytes <= budget
+        assert cache.evictions > 0
+        assert cache.total_bytes() == cache.disk_bytes()
+
+    def test_concurrent_inserts_keep_exact_accounting(self, tmp_path):
+        cache = ShardedResultCache(
+            str(tmp_path / "conc"), shards=4, byte_budget=16384
+        )
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(40):
+                    key = _key((worker_id, i))
+                    cache.store(key, _payload((worker_id, i), pad=i * 5))
+                    cache.load(key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.total_bytes() == cache.disk_bytes()
+        assert cache.peak_bytes <= 16384
+        stats = cache.stats()
+        assert stats["entries"] == cache.entry_count()
+
+    def test_stats_document(self, tmp_path):
+        cache = ShardedResultCache(
+            str(tmp_path / "stats"), shards=2, byte_budget=8192
+        )
+        cache.store(_key("s"), _payload("s"))
+        cache.load(_key("s"))
+        cache.load(_key("missing"))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["shards"] == 2
+        assert stats["byte_budget"] == 8192
+        assert stats["bytes"] == cache.disk_bytes()
+
+
+class TestAccountingMutant:
+    def test_undercounting_mutant_trips_conformance_invariant(
+        self, tmp_path, monkeypatch
+    ):
+        """Patch ``_entry_bytes`` to report half the real size: the
+        budget silently overflows on disk, and the serve-cache-budget
+        invariant must catch the books/disk divergence."""
+        import os
+
+        monkeypatch.setattr(
+            ShardedResultCache,
+            "_entry_bytes",
+            staticmethod(lambda path: os.path.getsize(path) // 2),
+        )
+        budget = 2048
+        cache = ShardedResultCache(
+            str(tmp_path / "mutant"), shards=1, byte_budget=budget
+        )
+        for i in range(48):
+            cache.store(_key(("m", i)), _payload(("m", i), pad=48))
+        evidence = ServeEvidence(
+            loadgen={},
+            byte_budget=budget,
+            peak_bytes=max(cache.peak_bytes, cache.disk_bytes()),
+            tracked_bytes=cache.total_bytes(),
+            disk_bytes=cache.disk_bytes(),
+        )
+        messages = get_invariant("serve-cache-budget").check(evidence)
+        assert messages, "accounting mutant escaped the invariant"
+
+    def test_honest_accounting_passes_invariant(self, tmp_path):
+        budget = 2048
+        cache = ShardedResultCache(
+            str(tmp_path / "honest"), shards=1, byte_budget=budget
+        )
+        for i in range(48):
+            cache.store(_key(("h", i)), _payload(("h", i), pad=48))
+        evidence = ServeEvidence(
+            loadgen={},
+            byte_budget=budget,
+            peak_bytes=cache.peak_bytes,
+            tracked_bytes=cache.total_bytes(),
+            disk_bytes=cache.disk_bytes(),
+        )
+        assert get_invariant("serve-cache-budget").check(evidence) == []
+
+
+def _entry_size(tmp_path) -> int:
+    """Size on disk of one canonical test entry (payload pad=64)."""
+    probe = ShardedResultCache(str(tmp_path / "probe"), shards=1)
+    probe.store(_key("probe"), _payload("probe"))
+    return probe.disk_bytes()

@@ -1,0 +1,132 @@
+"""Differential tests: the serve path must be a pure transport.
+
+A job submitted through :class:`BenchmarkServer` must yield records that
+are byte-identical (canonical JSON) to calling :class:`SweepEngine`
+directly with the same specs — cold cache, warm cache, and when two
+tenants race the same job fingerprint.  The coalescing case additionally
+proves *single computation*: the engine's stats show the work ran once
+while both tenants still received full event streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import SweepEngine
+from repro.engine.keys import canonical_json
+from repro.engine.merge import grid_record
+from repro.hardware.devices import get_gpu
+from repro.serve.jobs import JobRequest
+
+
+def _direct_records(request: JobRequest, cache_dir: str) -> str:
+    """Canonical JSON of the same job run straight on the engine."""
+    engine = SweepEngine(
+        jobs=1, cache=ResultCache(cache_dir), gpu=get_gpu(request.gpu)
+    )
+    specs = request.point_specs()
+    points = engine.run_grid(specs)
+    return canonical_json(
+        [grid_record(spec, point) for spec, point in zip(specs, points)]
+    )
+
+
+async def _serve_records(server, request, tenant="acme") -> str:
+    handle = await server.submit(request, tenant=tenant)
+    result = await handle.result()
+    return canonical_json(result["records"])
+
+
+_SWEEP = JobRequest(
+    kind="sweep", model="alexnet", framework="mxnet", batch_sizes=(4, 8)
+)
+
+
+class TestByteIdentity:
+    def test_cold_cache_matches_direct(self, serve_runtime, tmp_path):
+        server = serve_runtime.server(workers=1)
+
+        async def scenario():
+            async with server:
+                return await _serve_records(server, _SWEEP)
+
+        served = serve_runtime.run(scenario())
+        direct = _direct_records(_SWEEP, str(tmp_path / "direct-cold"))
+        assert served == direct
+
+    def test_warm_cache_matches_direct_and_cold(self, serve_runtime, tmp_path):
+        server = serve_runtime.server(workers=1)
+
+        async def scenario():
+            async with server:
+                cold = await _serve_records(server, _SWEEP)
+                warm = await _serve_records(server, _SWEEP)
+                return cold, warm
+
+        cold, warm = serve_runtime.run(scenario())
+        assert cold == warm
+        assert warm == _direct_records(_SWEEP, str(tmp_path / "direct-warm"))
+
+    def test_concurrent_duplicates_coalesce_to_one_computation(
+        self, serve_runtime, tmp_path
+    ):
+        server = serve_runtime.server(workers=2)
+
+        async def collect(handle):
+            events = []
+            async for event in handle.events():
+                events.append(event)
+            return events, await handle.result()
+
+        async def scenario():
+            async with server:
+                handles = await asyncio.gather(
+                    server.submit(_SWEEP, tenant="acme", priority="standard"),
+                    server.submit(_SWEEP, tenant="beta", priority="batch"),
+                )
+                results = await asyncio.gather(
+                    *(collect(handle) for handle in handles)
+                )
+                return handles, results
+
+        handles, results = serve_runtime.run(scenario())
+        # Both tenants saw a full stream ending in identical records.
+        (events_a, result_a), (events_b, result_b) = results
+        assert canonical_json(result_a["records"]) == canonical_json(
+            result_b["records"]
+        )
+        assert canonical_json(result_a["records"]) == _direct_records(
+            _SWEEP, str(tmp_path / "direct-dup")
+        )
+        # Exactly one handle is the coalesced follower, and each stream
+        # carries per-point events under its own job id.
+        assert sorted(h.coalesced for h in handles) == [False, True]
+        for handle, (events, _) in zip(handles, results):
+            point_events = [e for e in events if e.kind == "point"]
+            assert len(point_events) == len(_SWEEP.point_specs())
+            assert all(e.job_id == handle.job_id for e in events)
+        # Single computation: the shared engine computed each point once.
+        engines = list(server._engines.values())
+        assert len(engines) == 1
+        stats = engines[0].stats
+        assert stats.points_computed == len(_SWEEP.point_specs())
+
+
+class TestTransportPurity:
+    def test_tenant_and_priority_do_not_shard_results(
+        self, serve_runtime
+    ):
+        """Different tenant/priority on the same work share one
+        fingerprint, so the second submit is a pure cache replay."""
+        server = serve_runtime.server(workers=1)
+
+        async def scenario():
+            async with server:
+                first = await _serve_records(server, _SWEEP, tenant="acme")
+                second = await _serve_records(server, _SWEEP, tenant="zeta")
+                return first, second
+
+        first, second = serve_runtime.run(scenario())
+        assert first == second
+        assert server.cache.hits >= len(_SWEEP.point_specs())

@@ -1,0 +1,245 @@
+"""Tests for the deterministic load generator, its SLO gate, and the
+``tbd serve`` CLI surface.
+
+The load generator is a discrete-event simulation on a virtual clock,
+so every number it reports — per-class p50/p99 latency, throughput,
+fairness, starvation — is a pure function of its config.  That is the
+property the bench gate leans on, so it is proven here first.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve.loadgen import (
+    DEFAULT_SLO,
+    LoadGenConfig,
+    LoadGenReport,
+    evaluate_slo,
+    jain_index,
+    percentile,
+    run_loadgen,
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestHelpers:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile([7.0], 0.5) == 7.0
+
+    def test_jain_index(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+        assert jain_index([]) == 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(clients=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(priority_mix=(("interactive", 0.0),))
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        config = LoadGenConfig(clients=120, seed=13)
+        assert run_loadgen(config).to_json() == run_loadgen(config).to_json()
+
+    def test_different_seed_different_outcome(self):
+        base = run_loadgen(LoadGenConfig(clients=120, seed=13))
+        other = run_loadgen(LoadGenConfig(clients=120, seed=14))
+        assert base.to_json() != other.to_json()
+
+    def test_config_round_trips_into_report(self):
+        config = LoadGenConfig(clients=60, tenants=3, seed=5)
+        report = run_loadgen(config)
+        assert report.to_doc()["config"]["clients"] == 60
+        assert report.to_doc()["config"]["tenants"] == 3
+
+
+class TestScale:
+    def test_thousand_clients(self):
+        """The acceptance-scale scenario: 1000 clients, closed loop."""
+        report = run_loadgen(LoadGenConfig(clients=1000, seed=7))
+        doc = report.to_doc()
+        assert doc["completed"] == doc["submitted"] >= 2000
+        for name in ("interactive", "standard", "batch"):
+            stats = doc["classes"][name]
+            assert stats["completed"] > 0
+            assert 0.0 < stats["latency_p50_s"] <= stats["latency_p99_s"]
+        assert doc["fairness_index"] > 0.9
+        assert doc["starvation_events"] == 0
+        # Bounded queue: overload shows up as typed rejections, retried.
+        assert sum(doc["rejected_by_code"].values()) > 0
+        assert set(doc["rejected_by_code"]) <= {
+            "queue-full",
+            "tenant-quota",
+        }
+
+    def test_priority_ordering_of_latency(self):
+        """Higher classes must see no worse tail latency than lower."""
+        doc = run_loadgen(LoadGenConfig(clients=600, seed=7)).to_doc()
+        classes = doc["classes"]
+        assert (
+            classes["interactive"]["latency_p99_s"]
+            <= classes["standard"]["latency_p99_s"]
+            <= classes["batch"]["latency_p99_s"]
+        )
+
+
+class TestSLOGate:
+    def test_default_slo_holds_at_both_bench_scales(self):
+        for clients in (200, 1000):
+            report = run_loadgen(LoadGenConfig(clients=clients, seed=7))
+            assert evaluate_slo(report) == []
+
+    def test_breach_detection(self):
+        report = run_loadgen(LoadGenConfig(clients=200, seed=7))
+        strict = dict(DEFAULT_SLO)
+        strict["latency_p99_s"] = {
+            "interactive": 0.001,
+            "standard": 0.001,
+            "batch": 0.001,
+        }
+        breaches = evaluate_slo(report, strict)
+        assert len(breaches) == 3
+        assert all("p99" in breach for breach in breaches)
+
+    def test_fairness_floor_breach(self):
+        report = run_loadgen(LoadGenConfig(clients=200, seed=7))
+        slo = dict(DEFAULT_SLO)
+        slo["fairness_floor"] = 1.01  # unattainable
+        assert any("fairness" in b for b in evaluate_slo(report, slo))
+
+
+class TestServeCLI:
+    def test_loadgen_prints_report_and_passes_gate(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "loadgen", "--clients", "60", "--gate"
+        )
+        assert code == 0
+        assert "p99" in out
+        for name in ("interactive", "standard", "batch"):
+            assert name in out
+
+    def test_loadgen_report_file(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code, _ = run_cli(
+            capsys,
+            "serve",
+            "loadgen",
+            "--clients",
+            "60",
+            "--report",
+            str(path),
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["completed"] == doc["submitted"]
+
+    def test_loadgen_gate_failure_exit_code(self, capsys):
+        """One worker behind a deep queue at high load: waits blow every
+        latency ceiling (a shallow queue would instead shed load as
+        rejections and keep admitted-job latency low).  The gate must
+        exit non-zero."""
+        code, out = run_cli(
+            capsys,
+            "serve",
+            "loadgen",
+            "--clients",
+            "500",
+            "--workers",
+            "1",
+            "--max-depth",
+            "256",
+            "--tenant-depth",
+            "64",
+            "--gate",
+        )
+        assert code == 1
+        assert "SLO" in out or "breach" in out.lower()
+
+    def test_serve_run_demo_jobs(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "serve",
+            "run",
+            "--cache-dir",
+            str(tmp_path / "serve-cache"),
+            "--event-log",
+            str(tmp_path / "events.jsonl"),
+        )
+        assert code == 0
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        kinds = {event["kind"] for event in events}
+        assert {"queued", "started", "point", "done"} <= kinds
+        assert all(event["kind"] != "failed" for event in events)
+
+    def test_serve_submit_single_job(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "serve",
+            "submit",
+            "sweep",
+            "alexnet",
+            "-f",
+            "mxnet",
+            "--batches",
+            "4",
+            "8",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        )
+        assert code == 0
+        assert "done" in out
+
+    def test_serve_status_reads_cache_offline(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            capsys,
+            "serve",
+            "submit",
+            "sweep",
+            "alexnet",
+            "-f",
+            "mxnet",
+            "-b",
+            "4",
+            "--cache-dir",
+            str(cache_dir),
+        )
+        code, out = run_cli(
+            capsys, "serve", "status", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        assert "entries" in out
+
+
+class TestBenchSuiteIntegration:
+    def test_serve_suite_records_and_gates(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            "bench",
+            "gate",
+            "serve",
+            "--dir",
+            str(tmp_path / "trajectory"),
+        )
+        assert code == 0
+        assert "smoke-200" in out and "heavy-1000" in out
+        store = json.loads(
+            (tmp_path / "trajectory" / "BENCH_serve.json").read_text()
+        )
+        records = store if isinstance(store, list) else store["records"]
+        assert records[-1]["gate"]["passed"] is True

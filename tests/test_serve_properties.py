@@ -1,0 +1,261 @@
+"""Property-based tests for serve admission control.
+
+A seeded generator produces random operation sequences (admits across
+random tenants/priorities, interleaved picks); a checker replays each
+sequence against :class:`FairScheduler` and asserts the admission
+invariants that the load generator and the server both lean on:
+
+- **depth bounds**: the global queue never exceeds ``max_depth`` and no
+  tenant exceeds ``tenant_depth`` — every overflow surfaces as a typed
+  rejection instead;
+- **conservation**: admits - picks == final depth, and every admitted
+  job is picked exactly once when drained;
+- **no starvation**: while a class stays non-empty it is picked at
+  least once per ``total_weight`` consecutive picks (the smooth-WRR
+  service guarantee);
+- **tenant FIFO**: within one (class, tenant) lane, jobs come out in
+  submission order.
+
+When a property fails the harness *shrinks* the operation sequence —
+greedily dropping chunks, then single ops, while the failure reproduces
+— and reports the minimal counterexample.  The shrinker itself is
+exercised against a deliberately broken scheduler subclass.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionError,
+    FairScheduler,
+    QueuedJob,
+)
+
+SEED = 20260807
+CASES = 40
+TENANTS = ("acme", "beta", "corp", "dune")
+
+
+def _gen_ops(rng: random.Random, length: int):
+    """One random op sequence: ('admit', tenant, priority) | ('pick',)."""
+    ops = []
+    classes = tuple(name for name, _ in AdmissionConfig().weights)
+    for i in range(length):
+        if rng.random() < 0.65:
+            ops.append(
+                ("admit", rng.choice(TENANTS), rng.choice(classes), f"j{i}")
+            )
+        else:
+            ops.append(("pick",))
+    return ops
+
+
+def _gen_config(rng: random.Random) -> AdmissionConfig:
+    tenant_depth = rng.randrange(1, 6)
+    return AdmissionConfig(
+        max_depth=rng.randrange(tenant_depth, 13),
+        tenant_depth=tenant_depth,
+    )
+
+
+def check_admission_invariants(config, ops, scheduler_cls=FairScheduler):
+    """Replay ``ops``; return None if every invariant holds, else a
+    human-readable violation string."""
+    scheduler = scheduler_cls(config)
+    total_weight = sum(weight for _, weight in config.weights)
+    admitted, picked = [], []
+    picks_since_service = {name: 0 for name, _ in config.weights}
+    for op in ops:
+        if op[0] == "admit":
+            _, tenant, priority, job_id = op
+            before = len(scheduler)
+            tenant_before = scheduler.depth_of(tenant)
+            try:
+                scheduler.admit(
+                    QueuedJob(job_id=job_id, tenant=tenant, priority=priority)
+                )
+            except AdmissionError as exc:
+                if exc.code == "queue-full" and before < config.max_depth:
+                    return f"spurious queue-full at depth {before}"
+                if (
+                    exc.code == "tenant-quota"
+                    and tenant_before < config.tenant_depth
+                ):
+                    return (
+                        f"spurious tenant-quota for {tenant} "
+                        f"at depth {tenant_before}"
+                    )
+                continue
+            admitted.append((job_id, tenant, priority))
+        else:
+            job = scheduler.pick()
+            if job is None:
+                if len(scheduler) != 0:
+                    return f"pick returned None at depth {len(scheduler)}"
+                continue
+            picked.append((job.job_id, job.tenant, job.priority))
+            # Starvation check: every backlogged class must be served
+            # within total_weight consecutive picks.
+            depths = scheduler.class_depths()
+            for name, count in picks_since_service.items():
+                if depths.get(name, 0) > 0 and name != job.priority:
+                    picks_since_service[name] = count + 1
+                    if picks_since_service[name] > total_weight:
+                        return f"class {name} starved for {count + 1} picks"
+            picks_since_service[job.priority] = 0
+        if len(scheduler) > config.max_depth:
+            return f"depth {len(scheduler)} exceeds bound {config.max_depth}"
+        for tenant in TENANTS:
+            if scheduler.depth_of(tenant) > config.tenant_depth:
+                return (
+                    f"tenant {tenant} depth {scheduler.depth_of(tenant)} "
+                    f"exceeds bound {config.tenant_depth}"
+                )
+    # Drain and prove conservation + per-lane FIFO.
+    while (job := scheduler.pick()) is not None:
+        picked.append((job.job_id, job.tenant, job.priority))
+    if sorted(picked) != sorted(admitted):
+        return (
+            f"conservation broken: admitted {len(admitted)}, "
+            f"picked {len(picked)}"
+        )
+    lanes: dict = {}
+    for job_id, tenant, priority in picked:
+        lanes.setdefault((priority, tenant), []).append(job_id)
+    expected: dict = {}
+    for job_id, tenant, priority in admitted:
+        expected.setdefault((priority, tenant), []).append(job_id)
+    for lane, order in lanes.items():
+        if order != expected[lane]:
+            return f"lane {lane} out of FIFO order: {order}"
+    return None
+
+
+def shrink_ops(config, ops, check, scheduler_cls=FairScheduler):
+    """Greedy delta-debug: drop halves, then quarters, ... then single
+    ops, keeping any reduction that still fails ``check``."""
+    current = list(ops)
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        i, reduced = 0, False
+        while i < len(current):
+            candidate = current[:i] + current[i + chunk:]
+            if candidate and check(config, candidate, scheduler_cls):
+                current = candidate
+                reduced = True
+            else:
+                i += chunk
+        chunk = chunk // 2 if not reduced else chunk
+    return current
+
+
+class TestAdmissionProperties:
+    def test_invariants_hold_over_seeded_sequences(self):
+        rng = random.Random(SEED)
+        for case in range(CASES):
+            config = _gen_config(rng)
+            ops = _gen_ops(rng, rng.randrange(10, 120))
+            violation = check_admission_invariants(config, ops)
+            if violation is not None:
+                minimal = shrink_ops(
+                    config,
+                    ops,
+                    lambda c, o, s: check_admission_invariants(c, o, s)
+                    is not None,
+                )
+                raise AssertionError(
+                    f"case {case}: {violation}\n"
+                    f"minimal counterexample ({len(minimal)} ops): {minimal}"
+                )
+
+    def test_saturated_queue_only_rejects_typed(self):
+        """Hammer a tiny queue: every refusal carries a known code."""
+        rng = random.Random(SEED + 1)
+        config = AdmissionConfig(max_depth=3, tenant_depth=2)
+        scheduler = FairScheduler(config)
+        codes = set()
+        for i in range(200):
+            try:
+                scheduler.admit(
+                    QueuedJob(
+                        job_id=f"j{i}",
+                        tenant=rng.choice(TENANTS),
+                        priority=rng.choice(("interactive", "standard", "batch")),
+                    )
+                )
+            except AdmissionError as exc:
+                codes.add(exc.code)
+            if rng.random() < 0.2:
+                scheduler.pick()
+        assert codes <= {"queue-full", "tenant-quota"}
+        assert codes  # a 3-deep queue under 200 submits must refuse some
+
+
+class _DepthLeakScheduler(FairScheduler):
+    """Deliberately broken: forgets the global depth check, so the
+    queue grows past max_depth instead of raising queue-full."""
+
+    def admit(self, job):
+        if len(self) >= self.config.max_depth:
+            # Bug under test: waves the job through anyway.
+            pass
+        saved = self.config.max_depth
+        object.__setattr__(self.config, "max_depth", 1 << 30)
+        try:
+            return super().admit(job)
+        finally:
+            object.__setattr__(self.config, "max_depth", saved)
+
+
+class TestShrinker:
+    def test_shrinker_finds_minimal_depth_counterexample(self):
+        """Against the depth-leak mutant the checker fails, and the
+        shrinker reduces the sequence to the bare overflow prefix."""
+        rng = random.Random(SEED + 2)
+        config = AdmissionConfig(max_depth=2, tenant_depth=2)
+        found = None
+        for _ in range(CASES):
+            ops = _gen_ops(rng, rng.randrange(20, 80))
+            violation = check_admission_invariants(
+                config, ops, scheduler_cls=_DepthLeakScheduler
+            )
+            if violation is not None:
+                found = ops
+                break
+        assert found is not None, "mutant never violated: generator too weak"
+        minimal = shrink_ops(
+            config,
+            found,
+            lambda c, o, s: check_admission_invariants(c, o, s) is not None,
+            scheduler_cls=_DepthLeakScheduler,
+        )
+        # Minimal repro: exactly max_depth + 1 admits, no picks.
+        assert len(minimal) == config.max_depth + 1
+        assert all(op[0] == "admit" for op in minimal)
+        # And the minimal sequence still reproduces on the mutant while
+        # passing on the real scheduler.
+        assert check_admission_invariants(
+            config, minimal, scheduler_cls=_DepthLeakScheduler
+        )
+        assert check_admission_invariants(config, minimal) is None
+
+    def test_shrinker_preserves_failure(self):
+        # Spread admits across tenants so the (still intact) per-tenant
+        # quota never masks the mutant's missing global depth check.
+        config = AdmissionConfig(max_depth=2, tenant_depth=2)
+        ops = [
+            ("admit", TENANTS[i % len(TENANTS)], "standard", f"j{i}")
+            for i in range(10)
+        ]
+        minimal = shrink_ops(
+            config,
+            ops,
+            lambda c, o, s: check_admission_invariants(c, o, s) is not None,
+            scheduler_cls=_DepthLeakScheduler,
+        )
+        assert check_admission_invariants(
+            config, minimal, scheduler_cls=_DepthLeakScheduler
+        )
+        assert len(minimal) <= len(ops)

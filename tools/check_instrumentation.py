@@ -46,6 +46,9 @@ REQUIRED = [
     ("repro/plan/pipeline.py", "TransformPipeline", "apply"),
     ("repro/tune/search.py", "Autotuner", "rank"),
     ("repro/tune/search.py", "Autotuner", "_score"),
+    ("repro/engine/executor.py", "SweepEngine", "iter_grid"),
+    ("repro/serve/service.py", "BenchmarkServer", "_run_job"),
+    ("repro/serve/loadgen.py", None, "run_loadgen"),
 ]
 
 #: Entry points that must additionally record metrics: the function body
@@ -57,6 +60,9 @@ REQUIRED_METRICS = [
     ("repro/plan/symbolic.py", None, "compile_symbolic"),
     ("repro/plan/symbolic.py", "SymbolicPlanSet", "specialize"),
     ("repro/tune/search.py", "Autotuner", "rank"),
+    ("repro/serve/shardcache.py", "ShardedResultCache", "load"),
+    ("repro/serve/shardcache.py", "ShardedResultCache", "store"),
+    ("repro/serve/loadgen.py", None, "run_loadgen"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
