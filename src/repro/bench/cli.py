@@ -14,7 +14,7 @@ semantics and runner construction live in one place.
 
 from __future__ import annotations
 
-from repro.bench import serve_suite, symbolic_sweep
+from repro.bench import schedule_suite, serve_suite, symbolic_sweep
 from repro.bench.gate import evaluate_gate
 from repro.bench.noise import NoiseModel
 from repro.bench.runner import InterleavedRunner
@@ -138,6 +138,19 @@ def _run_serve_suite(args) -> bool:
     return gate_doc["passed"]
 
 
+def _run_schedule_suite(args) -> bool:
+    """Run the adaptive-vs-fixed schedule suite; returns the gate verdict
+    (fully simulated, hence deterministic: the comparison itself is
+    gated, not just its preconditions)."""
+    results, gate_doc, path = schedule_suite.run_and_record(args.dir)
+    for result in results:
+        print(result.format_row())
+    print(f"trajectory: {path}")
+    if not gate_doc["passed"]:
+        print("guard failures: " + ", ".join(gate_doc["failures"]))
+    return gate_doc["passed"]
+
+
 def _run_and_record(args, record: bool):
     suite = get_suite(args.suite)
     noise = NoiseModel(seed=args.seed)
@@ -170,6 +183,9 @@ def _cmd_run(args) -> int:
     if args.suite == serve_suite.SUITE_NAME:
         _run_serve_suite(args)
         return 0
+    if args.suite == schedule_suite.SUITE_NAME:
+        _run_schedule_suite(args)
+        return 0
     _run_and_record(args, record=True)
     return 0
 
@@ -179,6 +195,8 @@ def _cmd_gate(args) -> int:
         return 0 if _run_symbolic_sweep(args) else 1
     if args.suite == serve_suite.SUITE_NAME:
         return 0 if _run_serve_suite(args) else 1
+    if args.suite == schedule_suite.SUITE_NAME:
+        return 0 if _run_schedule_suite(args) else 1
     report = _run_and_record(args, record=True)
     print(report.format_summary())
     return 0 if report.passed else 1
@@ -222,6 +240,11 @@ def _cmd_history(args) -> int:
             "scenarios against the serve scheduler: p99 latency SLO, "
             "fairness floor, zero starvation"
         )
+        print(
+            f"  {schedule_suite.SUITE_NAME:<12} adaptive batch schedule "
+            "vs fixed b32 on P4000 and Titan Xp, with and without a "
+            "fault plan; conservation + fixed-equivalence guards"
+        )
         stored = store.suites()
         print(f"stored trajectories under {store.root}: " + (", ".join(stored) or "none"))
         return 0
@@ -247,6 +270,16 @@ def _cmd_history(args) -> int:
                     f"{p99['standard']:.0f}/{p99['batch']:.0f}s "
                     f"fair={result['fairness_index']:.3f} "
                     f"starved={result['starvation_events']}"
+                )
+                continue
+            if "adaptive_s" in result:
+                print(
+                    f"  {result['name']:<40} "
+                    f"fixed {result['fixed_s']:.0f}s adaptive "
+                    f"{result['adaptive_s']:.0f}s x{result['speedup']:.3f} "
+                    f"beats={result['adaptive_beats_fixed']} "
+                    f"conserved={result['conservation_ok']} "
+                    f"fixed-eq={result['fixed_equals_elastic']}"
                 )
                 continue
             if "speedup_ci" not in result:

@@ -5,11 +5,15 @@ Subcommands:
 - ``tbd run MODEL [-f FW] [-b BATCH] [-g GPU]`` — one configuration, all
   headline metrics.
 - ``tbd sweep MODEL [-f FW] [--jobs N] [--cache-dir DIR] [--no-cache]
-  [--faults SPEC] [--transforms SPEC]`` — the model's mini-batch sweep,
-  fanned out across worker processes and memoized in the
-  content-addressed result cache; ``--faults`` runs every point under a
-  fault scenario and ``--transforms`` under an optimization pipeline
-  (each its own cache dimension).
+  [--faults SPEC] [--transforms SPEC] [--schedule SPEC]`` — the model's
+  mini-batch sweep, fanned out across worker processes and memoized in
+  the content-addressed result cache; ``--faults`` runs every point
+  under a fault scenario, ``--transforms`` under an optimization
+  pipeline, and ``--schedule`` under an adaptive batch schedule (each
+  its own cache dimension).
+- ``tbd schedule show|compare`` — adaptive batch schedules: print a
+  spec's canonical form and segment tiling, or race it against the
+  fixed baseline on a cluster (optionally under a fault scenario).
 - ``tbd tune MODEL [-f FW] [-b BATCH] [-g GPU]`` — the cost-model-guided
   autotuner: enumerate transform pipelines under the analytic OOM
   boundary, rank by modeled makespan, confirm the winner with the
@@ -62,9 +66,11 @@ from repro.data.registry import dataset_catalog
 from repro.engine.cli import (
     add_engine_arguments,
     add_faults_argument,
+    add_schedule_argument,
     add_transforms_argument,
     register_cache_command,
 )
+from repro.schedule.cli import register_schedule_command
 from repro.serve.cli import register_serve_command
 from repro.tune.cli import register_tune_command
 from repro.frameworks.registry import framework_catalog
@@ -89,12 +95,21 @@ def _cmd_sweep(args) -> int:
 
     suite = _suite(args)
     engine = engine_from_args(args, gpu=suite.gpu)
-    if args.faults or args.transforms:
+    if args.schedule:
+        from repro.schedule.spec import ScheduleSpecError, parse_schedule_spec
+
+        try:
+            parse_schedule_spec(args.schedule)
+        except ScheduleSpecError as exc:
+            print(f"bad schedule spec: {exc}")
+            return 2
+    if args.faults or args.transforms or args.schedule:
         points = engine.sweep(
             args.model,
             args.framework,
             faults=args.faults,
             transforms=args.transforms,
+            schedule=args.schedule,
         )
     else:
         points = suite.sweep(args.model, args.framework, engine=engine)
@@ -465,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arguments(sweep)
     add_faults_argument(sweep)
     add_transforms_argument(sweep)
+    add_schedule_argument(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     register_cache_command(sub)
@@ -472,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     register_bench_command(sub)
     register_tune_command(sub)
     register_serve_command(sub)
+    register_schedule_command(sub)
 
     analyze = sub.add_parser("analyze", help="full analysis pipeline + advice")
     add_config(analyze)

@@ -61,6 +61,21 @@ def add_transforms_argument(parser) -> None:
     )
 
 
+def add_schedule_argument(parser) -> None:
+    """Attach the ``--schedule`` option to a sweep-shaped parser."""
+    parser.add_argument(
+        "--schedule",
+        default="",
+        metavar="SPEC",
+        help=(
+            "batch schedule to grow every point's batch under, e.g. "
+            "'geometric:factor=2,every=50' or 'gns:ceiling=256' "
+            "(default: none; 'fixed' is byte-identical to none; adaptive "
+            "schedules are cached as their own grid dimension)"
+        ),
+    )
+
+
 def engine_from_args(args, gpu: GPUSpec | None = None) -> SweepEngine:
     """Build the :class:`SweepEngine` an engine-aware command asked for."""
     cache = None

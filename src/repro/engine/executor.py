@@ -57,11 +57,17 @@ class PointSpec:
     (:func:`repro.faults.spec.parse_fault_spec` syntax); ``transforms``
     is an optional transform-pipeline string
     (:func:`repro.plan.pipeline.parse_transform_spec` syntax, e.g.
-    ``"fused_rnn+fp16+offload:0.5"``).  For both, the empty string — the
-    default — is the plain point, and its cache keys, payloads and
-    exported records are byte-identical to what they were before the
-    dimension existed.  A point cannot carry both at once: the fault
-    trainer replays the untransformed plan.
+    ``"fused_rnn+fp16+offload:0.5"``); ``schedule`` is an optional
+    batch-schedule string (:func:`repro.schedule.spec.parse_schedule_spec`
+    syntax, e.g. ``"gns:ceiling=256"``), growing the batch from
+    ``batch_size`` over the simulated run.  For all three, the empty
+    string — the default — is the plain point, and its cache keys,
+    payloads and exported records are byte-identical to what they were
+    before the dimension existed; ``schedule="fixed"`` normalizes to the
+    empty string and shares the plain point's bytes too.  A point cannot
+    combine the dimensions: the fault trainer replays the untransformed
+    plan, and a scheduled point's segment aggregation assumes the
+    unmodified single-GPU session.
     """
 
     model: str
@@ -69,6 +75,7 @@ class PointSpec:
     batch_size: int
     faults: str = ""
     transforms: str = ""
+    schedule: str = ""
 
 
 @dataclass
@@ -136,6 +143,12 @@ def _compute_payload(
             sessions[key] = session
     if getattr(spec, "transforms", ""):
         return _compute_transformed_payload(spec, session)
+    if getattr(spec, "schedule", ""):
+        from repro.schedule.spec import normalized_schedule
+
+        schedule = normalized_schedule(spec.schedule)
+        if schedule:
+            return _compute_scheduled_payload(spec, session, schedule)
     try:
         profile = session.run_iteration(spec.batch_size)
     except OutOfMemoryError:
@@ -181,6 +194,66 @@ def _compute_transformed_payload(spec: PointSpec, session: TrainingSession) -> d
                 profile, throughput_unit=session.spec.throughput_unit
             ),
         )
+    )
+
+
+def _compute_scheduled_payload(
+    spec: PointSpec, session: TrainingSession, schedule: str
+) -> dict:
+    """Simulate one grid point under an adaptive batch schedule.
+
+    The schedule's segments come from the closed-form curve integrator;
+    each *distinct* batch size costs one ``run_iteration`` — a cheap
+    symbolic ``specialize(batch)`` after the session's one trace — and
+    the point's metrics are the time-weighted aggregate over segments
+    (throughput = total samples / total time, utilizations weighted by
+    segment wall-clock).  ``batch_size`` stays the spec's base batch: it
+    is the grid coordinate, not the (growing) realized batch.  Any
+    segment whose batch no longer fits the GPU makes the whole point OOM,
+    exactly like a fixed point at that batch.
+    """
+    from repro.schedule.integrator import integrate_schedule
+
+    integration = integrate_schedule(spec.model, schedule, spec.batch_size)
+    profiles = {}
+    try:
+        for batch in integration.batch_sizes:
+            profiles[batch] = session.run_iteration(batch)
+    except OutOfMemoryError:
+        return point_to_payload(SweepPoint(batch_size=spec.batch_size, oom=True))
+    total_time = 0.0
+    total_steps = 0.0
+    weighted = {"gpu": 0.0, "fp32": 0.0, "cpu": 0.0}
+    for segment in integration.segments:
+        if segment.samples == 0.0:
+            continue
+        profile = profiles[segment.batch_size]
+        segment_time = segment.samples / profile.throughput
+        total_time += segment_time
+        total_steps += segment.steps
+        weighted["gpu"] += profile.gpu_utilization * segment_time
+        weighted["fp32"] += profile.fp32_utilization * segment_time
+        weighted["cpu"] += profile.cpu_utilization * segment_time
+    reference = profiles[integration.segments[0].batch_size]
+    if total_time <= 0.0:
+        metrics = IterationMetrics.from_profile(
+            reference, throughput_unit=session.spec.throughput_unit
+        )
+    else:
+        metrics = IterationMetrics(
+            model=reference.model,
+            framework=reference.framework,
+            device=reference.device,
+            batch_size=spec.batch_size,
+            throughput=integration.total_samples / total_time,
+            throughput_unit=session.spec.throughput_unit,
+            gpu_utilization=weighted["gpu"] / total_time,
+            fp32_utilization=weighted["fp32"] / total_time,
+            cpu_utilization=weighted["cpu"] / total_time,
+            iteration_time_s=total_time / total_steps,
+        )
+    return point_to_payload(
+        SweepPoint(batch_size=spec.batch_size, metrics=metrics)
     )
 
 
@@ -311,9 +384,41 @@ class SweepEngine:
                 from repro.plan.pipeline import parse_transform_spec
 
                 parse_transform_spec(transforms)
+            schedule = getattr(spec, "schedule", "")
+            if schedule:
+                from repro.schedule.spec import normalized_schedule
+                from repro.training.convergence import FIG2_MODELS
+
+                if normalized_schedule(schedule):
+                    if spec.faults:
+                        raise ValueError(
+                            f"a point cannot combine faults and an adaptive "
+                            f"schedule (got faults={spec.faults!r}, "
+                            f"schedule={schedule!r}): compose them through "
+                            f"scheduled_time_to_accuracy instead"
+                        )
+                    if transforms:
+                        raise ValueError(
+                            f"a point cannot combine transforms and an "
+                            f"adaptive schedule (got "
+                            f"transforms={transforms!r}, "
+                            f"schedule={schedule!r})"
+                        )
+                    if spec.model not in FIG2_MODELS:
+                        known = ", ".join(sorted(FIG2_MODELS))
+                        raise ValueError(
+                            f"adaptive schedules integrate against a "
+                            f"convergence curve, and {spec.model!r} has "
+                            f"none (models with curves: {known})"
+                        )
 
     def _key_for(self, spec: PointSpec) -> str:
         """Content-address of one point under this engine's devices."""
+        schedule = getattr(spec, "schedule", "")
+        if schedule:
+            from repro.schedule.spec import normalized_schedule
+
+            schedule = normalized_schedule(schedule)
         return point_key(
             spec.model,
             spec.framework,
@@ -322,6 +427,7 @@ class SweepEngine:
             cpu=self.cpu,
             faults=spec.faults,
             transforms=getattr(spec, "transforms", ""),
+            schedule=schedule,
         )
 
     def _config_for(self, spec: PointSpec) -> dict:
@@ -337,6 +443,12 @@ class SweepEngine:
             config["faults"] = spec.faults
         if getattr(spec, "transforms", ""):
             config["transforms"] = spec.transforms
+        if getattr(spec, "schedule", ""):
+            from repro.schedule.spec import normalized_schedule
+
+            schedule = normalized_schedule(spec.schedule)
+            if schedule:
+                config["schedule"] = schedule
         return config
 
     def _load_cached(self, key: str) -> dict | None:
@@ -561,20 +673,30 @@ class SweepEngine:
         batch_sizes=None,
         faults: str = "",
         transforms: str = "",
+        schedule: str = "",
     ) -> list:
         """Engine-backed equivalent of :meth:`TBDSuite.sweep`.
 
         ``faults`` runs every point of the sweep under one fault
         scenario; ``transforms`` runs every point under one transform
-        pipeline (each cached as its own grid dimension, mutually
-        exclusive).  The default empty strings are the plain sweep,
-        byte-identical to before either dimension existed.
+        pipeline; ``schedule`` grows each point's batch from its grid
+        ``batch_size`` over the simulated run (each cached as its own
+        grid dimension, mutually exclusive).  The default empty strings
+        are the plain sweep, byte-identical to before any dimension
+        existed.
         """
         spec = get_model(model)
         sizes = batch_sizes if batch_sizes is not None else spec.batch_sizes
         return self.run_grid(
             [
-                PointSpec(spec.key, framework, int(batch), faults, transforms)
+                PointSpec(
+                    spec.key,
+                    framework,
+                    int(batch),
+                    faults,
+                    transforms,
+                    schedule,
+                )
                 for batch in sizes
             ]
         )

@@ -42,10 +42,17 @@ from repro.training.hyperparams import MODEL_DEFAULTS, Hyperparameters
 #: transformed points.  Untransformed documents keep the v2 shape (no
 #: ``transforms`` field, ``schema: 2``) so every pre-v3 cache entry and
 #: JSONL export stays byte-identical, exactly how ``faults`` landed.
-KEY_SCHEMA = 3
+#: v4: the document gained a ``schedule`` dimension — again only for
+#: points with an *adaptive* batch schedule.  Unscheduled (and
+#: ``fixed``-scheduled, which normalizes to empty) documents keep their
+#: v2/v3 shapes, so the whole pre-v4 grid stays byte-identical.
+KEY_SCHEMA = 4
 
 #: The schema untransformed documents declare (and are byte-identical to).
 _UNTRANSFORMED_SCHEMA = 2
+
+#: The schema transformed-but-unscheduled documents declare (the v3 shape).
+_TRANSFORMED_SCHEMA = 3
 
 #: Timing-model modules every sweep point depends on, relative to the
 #: ``repro`` package root.  Directories mean "every .py file inside".
@@ -78,6 +85,13 @@ FAULT_CODE = (
 #: :data:`CORE_CODE`.)  Untransformed points deliberately exclude these,
 #: so editing an optimization never invalidates the plain paper grid.
 TRANSFORM_CODE = ("optimizations",)
+
+#: Extra modules a *scheduled* point's result additionally depends on:
+#: the schedule family/integrator and the convergence curves that drive
+#: its segment boundaries.  Unscheduled points deliberately exclude
+#: these, so editing the schedule layer never invalidates the plain
+#: paper grid.
+SCHEDULE_CODE = ("schedule", "training/convergence.py")
 
 #: Run dimensions that deliberately do NOT participate in the cache key.
 #: The bench noise seed is measurement-layer state: it perturbs *observed*
@@ -203,6 +217,7 @@ def code_fingerprint(
     model_module: str | None = None,
     with_faults: bool = False,
     with_transforms: bool = False,
+    with_schedule: bool = False,
 ) -> str:
     """Fingerprint of the timing-model source a point's result depends on.
 
@@ -210,11 +225,12 @@ def code_fingerprint(
     entries move when it changes.  ``with_faults`` widens the dependency
     set by :data:`FAULT_CODE` for points running under a fault scenario;
     ``with_transforms`` widens it by :data:`TRANSFORM_CODE` for points
-    running under a transform pipeline.  The composite digest hashes the
-    sorted ``(relative path, file sha256)`` list so renames count as
-    changes.
+    running under a transform pipeline; ``with_schedule`` widens it by
+    :data:`SCHEDULE_CODE` for points running an adaptive batch schedule.
+    The composite digest hashes the sorted ``(relative path, file
+    sha256)`` list so renames count as changes.
     """
-    cache_key = (model_module, with_faults, with_transforms)
+    cache_key = (model_module, with_faults, with_transforms, with_schedule)
     cached = _CODE_FINGERPRINTS.get(cache_key)
     if cached is not None:
         return cached
@@ -225,6 +241,8 @@ def code_fingerprint(
         sources.extend(FAULT_CODE)
     if with_transforms:
         sources.extend(TRANSFORM_CODE)
+    if with_schedule:
+        sources.extend(SCHEDULE_CODE)
     if model_module is not None:
         relative = _module_relpath(model_module)
         if relative is not None:
@@ -283,6 +301,7 @@ def key_document(
     code: str | None = None,
     faults: str = "",
     transforms: str = "",
+    schedule: str = "",
 ) -> dict:
     """The full canonical document a point key hashes.
 
@@ -290,12 +309,17 @@ def key_document(
     ``hyperparams`` defaults to the model's registered reference set;
     ``code`` defaults to :func:`code_fingerprint` of the timing model plus
     the model's builder module (widened by :data:`FAULT_CODE` when the
-    point carries a ``faults`` scenario and by :data:`TRANSFORM_CODE` when
-    it carries a ``transforms`` pipeline); ``faults`` and ``transforms``
-    are the raw scenario/pipeline strings — hashed as text because the
-    text *is* the deterministic input (same text + same code = same
-    result).  An untransformed document omits the ``transforms`` field and
-    declares ``schema: 2``, keeping it byte-identical to the v2 shape.
+    point carries a ``faults`` scenario, by :data:`TRANSFORM_CODE` when
+    it carries a ``transforms`` pipeline, and by :data:`SCHEDULE_CODE`
+    when it carries an adaptive ``schedule``); ``faults``, ``transforms``
+    and ``schedule`` are the raw scenario/pipeline/schedule strings —
+    hashed as text because the text *is* the deterministic input (same
+    text + same code = same result).  ``schedule`` must already be
+    normalized (``fixed`` collapses to the empty string — the executor
+    does this via :func:`repro.schedule.spec.normalized_schedule`).  An
+    unscheduled document omits the ``schedule`` field and declares the
+    v2/v3 schema its other dimensions imply, keeping every pre-v4 key
+    byte-identical.
     """
     spec = get_model(model) if isinstance(model, str) else model
     personality = (
@@ -308,9 +332,16 @@ def key_document(
             spec.build.__module__,
             with_faults=bool(faults),
             with_transforms=bool(transforms),
+            with_schedule=bool(schedule),
         )
+    if schedule:
+        schema = KEY_SCHEMA
+    elif transforms:
+        schema = _TRANSFORMED_SCHEMA
+    else:
+        schema = _UNTRANSFORMED_SCHEMA
     document = {
-        "schema": KEY_SCHEMA if transforms else _UNTRANSFORMED_SCHEMA,
+        "schema": schema,
         "model": fingerprint_model(spec),
         "framework": fingerprint_framework(personality),
         "gpu": fingerprint_gpu(gpu),
@@ -322,6 +353,8 @@ def key_document(
     }
     if transforms:
         document["transforms"] = transforms
+    if schedule:
+        document["schedule"] = schedule
     return document
 
 
@@ -335,6 +368,7 @@ def point_key(
     code: str | None = None,
     faults: str = "",
     transforms: str = "",
+    schedule: str = "",
 ) -> str:
     """Content address of one sweep point: SHA-256 over every input the
     simulated result depends on."""
@@ -349,5 +383,6 @@ def point_key(
             code=code,
             faults=faults,
             transforms=transforms,
+            schedule=schedule,
         )
     )

@@ -79,9 +79,10 @@ def merge_ordered(total: int, indexed_payloads) -> list:
 def grid_record(spec, point: SweepPoint) -> dict:
     """One exportable record: the grid coordinates plus the point payload.
 
-    The ``faults`` and ``transforms`` coordinates appear only when the
-    spec carries one, so plain exports stay byte-identical to the format
-    that predates each dimension.
+    The ``faults``, ``transforms`` and ``schedule`` coordinates appear
+    only when the spec carries one, so plain exports stay byte-identical
+    to the format that predates each dimension (``schedule="fixed"``
+    normalizes away entirely, like no schedule at all).
     """
     payload = point_to_payload(point)
     record = {
@@ -97,6 +98,13 @@ def grid_record(spec, point: SweepPoint) -> dict:
     transforms = getattr(spec, "transforms", "")
     if transforms:
         record["transforms"] = transforms
+    schedule = getattr(spec, "schedule", "")
+    if schedule:
+        from repro.schedule.spec import normalized_schedule
+
+        schedule = normalized_schedule(schedule)
+        if schedule:
+            record["schedule"] = schedule
     return record
 
 

@@ -26,6 +26,7 @@ treats it exactly like no plan at all.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 
@@ -260,6 +261,57 @@ class FaultPlan:
                     return None
                 horizon = max(horizon, event.end_step)
         return horizon
+
+    def window(self, start_step: int, end_step: int | None = None) -> "FaultPlan":
+        """The plan restricted to ``[start_step, end_step)`` and re-based
+        so ``start_step`` becomes step 0.
+
+        This is how a run split into batch-schedule segments threads one
+        fault plan through per-segment trainers: each segment sees exactly
+        the events that fall inside its step window, shifted onto its own
+        local timeline.  Windowed straggler/link intervals are clipped;
+        point events (crashes, timeouts) are kept iff they land inside.
+        The seed is preserved, but windowing re-bases step indices, so
+        seed-derived per-event draws (e.g. crash fractions) are pure
+        functions of the *local* step — exact conservation claims should
+        therefore compare event sets, not partial-step jitter.
+        """
+        if start_step < 0:
+            raise ValueError("window cannot start before step 0")
+        if end_step is not None and end_step < start_step:
+            raise ValueError("window cannot end before it starts")
+        events = []
+        for event in self.events:
+            if isinstance(event, (StragglerFault, LinkFault)):
+                open_end = event.end_step
+                clipped_start = max(event.start_step, start_step)
+                if end_step is None:
+                    clipped_end = open_end
+                elif open_end is None:
+                    clipped_end = end_step
+                else:
+                    clipped_end = min(open_end, end_step)
+                if clipped_end is not None and clipped_end <= clipped_start:
+                    continue
+                shifted_end = (
+                    None if clipped_end is None else clipped_end - start_step
+                )
+                events.append(
+                    dataclasses.replace(
+                        event,
+                        start_step=clipped_start - start_step,
+                        end_step=shifted_end,
+                    )
+                )
+            else:
+                if event.step < start_step:
+                    continue
+                if end_step is not None and event.step >= end_step:
+                    continue
+                events.append(
+                    dataclasses.replace(event, step=event.step - start_step)
+                )
+        return FaultPlan(events=tuple(events), seed=self.seed)
 
     def last_boundary(self) -> int:
         """The step index after which conditions never change again —

@@ -1,0 +1,147 @@
+"""``tbd schedule show|compare`` — inspect and race batch schedules.
+
+``show`` parses a schedule spec and prints its canonical form plus the
+segment tiling it induces on a model's convergence curve; ``compare``
+races an adaptive schedule against the fixed baseline on a named cluster
+(optionally under a fault scenario) and reports the wall-clock delta.
+
+Kept next to the schedule package (mirroring ``repro.faults`` /
+``repro.bench``) so the spec language, integrator, and CLI surface stay
+in lockstep.
+"""
+
+from __future__ import annotations
+
+
+def register_schedule_command(subparsers) -> None:
+    """Add ``tbd schedule show|compare`` to the top-level subparser set."""
+    schedule = subparsers.add_parser(
+        "schedule", help="adaptive batch-size schedules: inspect and compare"
+    )
+    schedule_sub = schedule.add_subparsers(dest="schedule_command", required=True)
+
+    show = schedule_sub.add_parser(
+        "show", help="parse a spec and print its segment tiling"
+    )
+    show.add_argument("spec", help="schedule spec, e.g. 'gns:ceiling=256'")
+    show.add_argument("model", nargs="?", default="resnet-50")
+    show.add_argument("-b", "--batch", type=int, default=32)
+    show.add_argument(
+        "--target-fraction",
+        type=float,
+        default=0.95,
+        help="fraction of the asymptotic metric gap to close (default 0.95)",
+    )
+
+    compare = schedule_sub.add_parser(
+        "compare", help="race a schedule against the fixed baseline"
+    )
+    compare.add_argument("spec", help="adaptive schedule spec to race")
+    compare.add_argument("model", nargs="?", default="resnet-50")
+    compare.add_argument("-f", "--framework", default="mxnet")
+    compare.add_argument("-b", "--batch", type=int, default=32)
+    compare.add_argument(
+        "--cluster", default="2M1G", help="paper-style label (default 2M1G)"
+    )
+    compare.add_argument(
+        "--fabric", default="infiniband", help="inter-machine fabric name"
+    )
+    compare.add_argument("-g", "--gpu", default=None, help="p4000 | 'titan xp'")
+    compare.add_argument(
+        "--faults",
+        default="",
+        metavar="SPEC",
+        help="fault scenario both runs replay (its cluster= clause is "
+        "ignored; the cluster comes from --cluster/--fabric/--gpu)",
+    )
+    schedule.set_defaults(func=cmd_schedule)
+
+
+def cmd_schedule(args) -> int:
+    """Handler for ``tbd schedule show|compare``."""
+    from repro.schedule.spec import ScheduleSpecError, parse_schedule_spec
+
+    try:
+        spec = parse_schedule_spec(args.spec)
+    except ScheduleSpecError as exc:
+        print(f"bad schedule spec: {exc}")
+        return 2
+    if args.schedule_command == "show":
+        return _cmd_show(args, spec)
+    return _cmd_compare(args, spec)
+
+
+def _cmd_show(args, spec) -> int:
+    from repro.schedule.integrator import integrate_schedule
+
+    canonical = "fixed" if spec is None else spec.canonical
+    print(f"canonical: {canonical}")
+    try:
+        integration = integrate_schedule(
+            args.model, spec, args.batch, target_fraction=args.target_fraction
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"cannot integrate: {message}")
+        return 2
+    print(integration.describe())
+    print(
+        f"total steps {integration.total_steps:.1f}, final batch "
+        f"{integration.final_batch}, distinct batches "
+        f"{list(integration.batch_sizes)}"
+    )
+    return 0
+
+
+def _cmd_compare(args, spec) -> int:
+    from repro.faults import FaultSpecError, parse_fault_spec
+    from repro.hardware.cluster import parse_configuration
+    from repro.hardware.devices import get_gpu
+    from repro.schedule.accuracy import scheduled_time_to_accuracy
+
+    if spec is None or spec.is_fixed:
+        print("compare needs an adaptive schedule; 'fixed' is the baseline")
+        return 2
+    plan = None
+    if args.faults:
+        try:
+            plan = parse_fault_spec(args.faults).plan
+        except FaultSpecError as exc:
+            print(f"bad fault spec: {exc}")
+            return 2
+    try:
+        kwargs = {"gpu": get_gpu(args.gpu)} if args.gpu else {}
+        cluster = parse_configuration(args.cluster, fabric=args.fabric, **kwargs)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"bad cluster: {message}")
+        return 2
+
+    try:
+        fixed = scheduled_time_to_accuracy(
+            args.model, args.framework, cluster, args.batch, plan=plan
+        )
+        adaptive = scheduled_time_to_accuracy(
+            args.model, args.framework, cluster, args.batch, spec, plan=plan
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"cannot compare: {message}")
+        return 2
+
+    fault_note = f" under faults '{args.faults}'" if args.faults else ""
+    print(
+        f"{args.model} on {args.framework}, {cluster.name}, "
+        f"base batch {args.batch}{fault_note}"
+    )
+    for label, point in (("fixed", fixed), (spec.canonical, adaptive)):
+        hours = point.time_to_accuracy_s / 3600.0
+        print(
+            f"  {label:<40s} {point.segment_count} segment(s), final batch "
+            f"{point.final_per_gpu_batch:<5d} "
+            f"{point.time_to_accuracy_s:>14.0f}s ({hours:,.1f}h)"
+        )
+    if adaptive.time_to_accuracy_s > 0:
+        speedup = fixed.time_to_accuracy_s / adaptive.time_to_accuracy_s
+        print(f"  speedup vs fixed: x{speedup:.3f}")
+    return 0

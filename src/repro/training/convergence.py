@@ -70,6 +70,60 @@ class ConvergenceModel:
             )
         return self.initial + (self.final - self.initial) * fraction
 
+    def fraction_at(self, samples_seen: float) -> float:
+        """Closed fraction of the initial->final metric gap at
+        ``samples_seen``, in ``[0, 1)`` — affine-invariant in the metric
+        axis, which is what schedule triggers key off."""
+        return (self.value_at(samples_seen) - self.initial) / (
+            self.final - self.initial
+        )
+
+    def samples_to_fraction(self, fraction: float) -> float:
+        """Closed-form inverse of :meth:`fraction_at` — no bisection, so
+        arbitrarily deep targets (huge sample counts) resolve exactly.
+
+        Raises:
+            ValueError: if ``fraction`` is outside ``[0, 1)`` (the gap
+                closes fully only in the limit).
+        """
+        if fraction < 0.0:
+            raise ValueError(f"gap fraction cannot be negative, got {fraction}")
+        if fraction >= 1.0:
+            raise ValueError(
+                f"gap fraction {fraction} unreachable: the curve closes the "
+                f"full gap only asymptotically"
+            )
+        if fraction == 0.0:
+            return 0.0
+        if self.logistic:
+            # fraction = 1 / (1 + (n / n_half)^-2.8)
+            return self.samples_to_half * (fraction / (1.0 - fraction)) ** (
+                1.0 / 2.8
+            )
+        # fraction = 1 - (1 + n / n_half)^-gamma
+        return self.samples_to_half * (
+            (1.0 - fraction) ** (-1.0 / self.gamma) - 1.0
+        )
+
+    def samples_to(self, target: float) -> float:
+        """Samples needed to reach metric value ``target``, closed form.
+
+        Raises:
+            ValueError: if ``target`` lies outside the achievable range or
+                equals the asymptote (reachable only in the limit).
+        """
+        lo, hi = self.initial, self.final
+        if not (min(lo, hi) <= target <= max(lo, hi)):
+            raise ValueError(
+                f"target {target} outside achievable range [{lo}, {hi}]"
+            )
+        fraction = (target - self.initial) / (self.final - self.initial)
+        if fraction >= 1.0:
+            raise ValueError(
+                f"target {target} unreachable: it is the curve's asymptote"
+            )
+        return self.samples_to_fraction(fraction)
+
 
 #: Calibrated curves for the five models Fig. 2 plots.  Final metrics match
 #: Section 3.3: ~75-80% top-1 for the image models, BLEU ~20 for Seq2Seq,
@@ -151,13 +205,42 @@ def training_curve(
 
 
 def time_to_metric(
-    model_key: str, throughput_samples_per_s: float, target: float
+    model_key: str,
+    throughput_samples_per_s: float,
+    target: float,
+    schedule=None,
+    base_batch: int = 32,
+    throughput_for_batch=None,
 ) -> float:
-    """Wall-clock seconds until the curve reaches ``target`` (bisection).
+    """Wall-clock seconds until the curve reaches ``target``.
+
+    With no ``schedule`` (or a fixed one) this is the legacy bisection —
+    bit-identical to every pre-schedule caller.  With an adaptive
+    schedule (a :class:`~repro.schedule.spec.BatchSchedule` or its spec
+    text) the time is integrated segment-by-segment in closed form:
+    ``base_batch`` seeds the schedule and ``throughput_for_batch``
+    (batch -> samples/s, defaulting to the constant
+    ``throughput_samples_per_s``) prices each segment, so larger batches
+    can be credited with their real hardware speedup.
 
     Raises:
         ValueError: if the target exceeds the curve's asymptote.
     """
+    if schedule is not None:
+        from repro.schedule.integrator import integrate_schedule
+        from repro.schedule.spec import parse_schedule_spec
+
+        if isinstance(schedule, str):
+            schedule = parse_schedule_spec(schedule)
+        if schedule is not None and not schedule.is_fixed:
+            integration = integrate_schedule(
+                model_key, schedule, base_batch, target=target
+            )
+            if throughput_for_batch is None:
+                if throughput_samples_per_s <= 0:
+                    raise ValueError("throughput must be positive")
+                throughput_for_batch = lambda _batch: throughput_samples_per_s
+            return integration.time_with(throughput_for_batch)
     model = FIG2_MODELS[model_key]
     lo, hi = model.initial, model.final
     if not (min(lo, hi) <= target <= max(lo, hi)):

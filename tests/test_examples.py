@@ -36,6 +36,7 @@ _EXAMPLES = (
     ("conformance_check.py", "byte-identical report"),
     ("bench_compare.py", "identical across same-seed runs"),
     ("serve_clients.py", "sweep-as-a-service demo"),
+    ("schedule_sweep.py", "adaptive batch schedules as a sweep dimension"),
 )
 
 

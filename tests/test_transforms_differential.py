@@ -28,7 +28,11 @@ from repro.engine import (
     point_key,
     write_grid_jsonl,
 )
-from repro.engine.keys import KEY_SCHEMA, _UNTRANSFORMED_SCHEMA, key_document
+from repro.engine.keys import (
+    _TRANSFORMED_SCHEMA,
+    _UNTRANSFORMED_SCHEMA,
+    key_document,
+)
 from repro.models.registry import get_model
 from repro.plan.pipeline import parse_transform_spec
 from repro.plan.symbolic import plan_difference
@@ -87,7 +91,7 @@ class TestUntransformedGridUnperturbed:
 
     def test_transformed_documents_carry_schema_3_and_the_spec(self):
         document = key_document("nmt", "tensorflow", 64, transforms="fp16")
-        assert document["schema"] == KEY_SCHEMA == 3
+        assert document["schema"] == _TRANSFORMED_SCHEMA == 3
         assert document["transforms"] == "fp16"
 
     def test_plain_records_carry_no_transforms_field(self):

@@ -49,6 +49,8 @@ REQUIRED = [
     ("repro/engine/executor.py", "SweepEngine", "iter_grid"),
     ("repro/serve/service.py", "BenchmarkServer", "_run_job"),
     ("repro/serve/loadgen.py", None, "run_loadgen"),
+    ("repro/schedule/integrator.py", None, "integrate_schedule"),
+    ("repro/schedule/accuracy.py", None, "scheduled_time_to_accuracy"),
 ]
 
 #: Entry points that must additionally record metrics: the function body
@@ -63,6 +65,8 @@ REQUIRED_METRICS = [
     ("repro/serve/shardcache.py", "ShardedResultCache", "load"),
     ("repro/serve/shardcache.py", "ShardedResultCache", "store"),
     ("repro/serve/loadgen.py", None, "run_loadgen"),
+    ("repro/schedule/integrator.py", None, "integrate_schedule"),
+    ("repro/schedule/accuracy.py", None, "scheduled_time_to_accuracy"),
 ]
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
